@@ -1,0 +1,55 @@
+"""Ablation: problem-size scaling of the kernels.
+
+Sweeps mesh size (cells) and extrusion depth to show (a) linear traffic
+scaling, (b) the launch-latency floor that makes small Residual launches
+latency-sensitive (the paper's motivation for the compile-time-bounds
+loop optimization), and (c) stable speedups across sizes.
+"""
+
+import pytest
+
+from repro.gpusim import GPUSimulator, A100, MI250X_GCD, ProblemSize
+from repro.perf.report import format_table, write_csv
+
+CELL_COUNTS = [4_000, 16_000, 64_000, 256_000, 1_024_000]
+
+
+def test_ablation_problem_size(print_once, results_dir, sim_a100, sim_mi250x, benchmark):
+    rows = []
+    speedups = {}
+    for nc in CELL_COUNTS:
+        prob = ProblemSize(nc)
+        for gpu, sim in (("A100", sim_a100), ("MI250X-GCD", sim_mi250x)):
+            b = sim.run("baseline-residual", prob)
+            o = sim.run("optimized-residual", prob)
+            speedups[(gpu, nc)] = b.time_s / o.time_s
+            rows.append([gpu, nc, b.time_s, o.time_s, f"{b.time_s / o.time_s:.2f}x", o.gbytes_moved])
+    headers = ["GPU", "cells", "baseline [s]", "optimized [s]", "speedup", "opt GB moved"]
+    print_once(
+        "ablation-size",
+        format_table(headers, rows, title="Ablation -- Residual kernel vs problem size"),
+    )
+    write_csv(results_dir / "ablation_problem_size.csv", headers, rows)
+
+    # traffic scales linearly with cells at fixed variant
+    o1 = sim_a100.run("optimized-residual", ProblemSize(64_000))
+    o2 = sim_a100.run("optimized-residual", ProblemSize(128_000))
+    assert o2.hbm_bytes == pytest.approx(2 * o1.hbm_bytes, rel=1e-9)
+
+    # launch latency is a bigger share of small launches
+    small = sim_mi250x.run("optimized-residual", ProblemSize(4_000))
+    big = sim_mi250x.run("optimized-residual", ProblemSize(1_024_000))
+    assert small.timing.launch_latency / small.time_s > big.timing.launch_latency / big.time_s
+
+    # speedups stay in the paper's band at scale
+    for gpu in ("A100", "MI250X-GCD"):
+        assert 1.5 < speedups[(gpu, 256_000)] < 4.5
+
+    benchmark(sim_a100.run, "optimized-residual", ProblemSize(256_000))
+
+
+def test_ablation_layers_change_nothing_per_cell(sim_a100, benchmark):
+    """Traffic is per-element: 10 vs 20 layers at equal cells is identical."""
+    a = benchmark(sim_a100.run, "optimized-jacobian", ProblemSize(200_000))
+    b = sim_a100.run("optimized-jacobian", ProblemSize(200_000))
+    assert a.hbm_bytes == b.hbm_bytes

@@ -1,0 +1,70 @@
+"""Extension bench: projected multi-GPU scaling of the velocity solver.
+
+The paper's future work announces scalability studies; this bench uses
+the calibrated kernel costs plus a Slingshot-11 communication model to
+project weak and strong scaling on both machines.  Sanity criteria:
+weak scaling stays above 85% efficiency to 64 GPUs at the paper's
+per-GPU load, and strong scaling degrades monotonically as the local
+problem shrinks into the latency floor.
+"""
+
+import pytest
+
+from repro.app.scaling import ScalingModel
+from repro.gpusim import A100, MI250X_GCD
+from repro.perf.report import format_table, write_csv
+
+GPU_COUNTS = [1, 2, 4, 8, 16, 32, 64]
+
+
+@pytest.mark.parametrize("spec", [A100, MI250X_GCD], ids=lambda s: s.name)
+def test_weak_scaling(spec, print_once, results_dir, benchmark):
+    model = ScalingModel(spec)
+    pts = model.weak_scaling(cells_per_gpu=256_000, gpu_counts=GPU_COUNTS)
+    eff = ScalingModel.efficiency(pts, "weak")
+    rows = [
+        [p.num_gpus, p.cells_per_gpu, p.t_step, f"{p.communication_fraction:.1%}", f"{e:.1%}"]
+        for p, e in zip(pts, eff)
+    ]
+    headers = ["GPUs", "cells/GPU", "t/Newton step [s]", "comm frac", "weak eff"]
+    print_once(
+        f"weak-{spec.name}",
+        format_table(headers, rows, title=f"Projected weak scaling on {spec.name} (256K cells/GPU)"),
+    )
+    write_csv(results_dir / f"scaling_weak_{spec.name}.csv", headers, rows)
+
+    assert eff[0] == pytest.approx(1.0)
+    assert all(e > 0.85 for e in eff)  # kernel-dominated at this load
+    assert all(a >= b - 1e-12 for a, b in zip(eff, eff[1:]))  # monotone decay
+
+    benchmark(model.weak_scaling, 256_000, [1, 16])
+
+
+def test_strong_scaling_hits_latency_floor(print_once, results_dir, benchmark):
+    model = ScalingModel(A100)
+    pts = benchmark(model.strong_scaling, 1_024_000, GPU_COUNTS)
+    eff = ScalingModel.efficiency(pts, "strong")
+    rows = [[p.num_gpus, p.cells_per_gpu, p.t_step, f"{e:.1%}"] for p, e in zip(pts, eff)]
+    headers = ["GPUs", "cells/GPU", "t/Newton step [s]", "strong eff"]
+    print_once(
+        "strong-A100",
+        format_table(headers, rows, title="Projected strong scaling on A100 (1.02M cells total)"),
+    )
+    write_csv(results_dir / "scaling_strong_A100.csv", headers, rows)
+
+    # total time per step decreases, but efficiency falls off
+    steps = [p.t_step for p in pts]
+    assert steps[-1] < steps[0]
+    assert eff[-1] < 0.9
+    # communication share grows as the local problem shrinks
+    assert pts[-1].communication_fraction > pts[1].communication_fraction
+
+
+def test_baseline_kernels_worsen_scaling_economics(benchmark):
+    """Slower kernels hide communication: baseline 'scales' better but is slower."""
+    opt = ScalingModel(A100, kernel_impl="optimized")
+    base = ScalingModel(A100, kernel_impl="baseline")
+    p_opt = benchmark(lambda: opt.weak_scaling(256_000, [64])[0])
+    p_base = base.weak_scaling(256_000, [64])[0]
+    assert p_base.t_step > p_opt.t_step  # optimization wins outright
+    assert p_base.communication_fraction < p_opt.communication_fraction

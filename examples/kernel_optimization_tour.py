@@ -1,0 +1,108 @@
+"""A tour of the paper's GPU optimizations and performance models.
+
+Walks through the whole Section V/VI story on the simulated GPUs:
+
+1. per-thread trace of the baseline vs optimized kernel (what the
+   optimizations change at the access level);
+2. Table-III-style time/speedup comparison on A100 and MI250X;
+3. roofline placement (Fig. 3);
+4. the time-oriented performance portability plane (Figs. 4-5) with
+   e_time/e_DM efficiencies and the Phi metric (Table IV).
+
+Run:  python examples/kernel_optimization_tour.py
+"""
+
+from repro.core.launch import default_launch_bounds
+from repro.gpusim import A100, MI250X_GCD, GPUSimulator, ANTARCTICA_16KM, record_kernel_trace
+from repro.kokkos.policy import LaunchBounds
+from repro.perf import (
+    RooflineModel,
+    TimeOrientedModel,
+    theoretical_minimum,
+    performance_portability,
+    format_table,
+)
+
+AMD_TUNED = LaunchBounds(128, 2)
+
+
+def trace_story() -> None:
+    print("=== 1. what the optimizations change (per-thread trace) ===")
+    rows = []
+    for key in ("baseline-jacobian", "optimized-jacobian"):
+        p = record_kernel_trace(key)
+        res_writes = sum(1 for a, w in zip(p.slot_trace, p.writes) if w and a.view == "Residual")
+        res_reads = sum(1 for a, w in zip(p.slot_trace, p.writes) if not w and a.view == "Residual")
+        rows.append([key, len(p.slot_trace), res_reads, res_writes, p.flops])
+    print(format_table(["kernel", "slot accesses", "Residual reads", "Residual writes", "flops"], rows))
+    print("-> local accumulation turns hundreds of global read-modify-writes into one write per slot\n")
+
+
+def speedup_story(profiles) -> None:
+    print("=== 2. time per invocation (Table III analogue) ===")
+    rows = []
+    for mode in ("jacobian", "residual"):
+        for gpu in ("A100", "MI250X-GCD"):
+            b = profiles[("baseline", mode, gpu)]
+            o = profiles[("optimized", mode, gpu)]
+            rows.append([mode, gpu, b.time_s, o.time_s, f"{b.time_s / o.time_s:.2f}x"])
+    print(format_table(["kernel", "GPU", "baseline [s]", "optimized [s]", "speedup"], rows))
+    print()
+
+
+def roofline_story(profiles) -> None:
+    print("=== 3. roofline placement (Fig. 3 analogue) ===")
+    rows = []
+    for gpu, spec in (("A100", A100), ("MI250X-GCD", MI250X_GCD)):
+        model = RooflineModel(spec)
+        for impl in ("baseline", "optimized"):
+            p = profiles[(impl, "jacobian", gpu)]
+            pt = RooflineModel.point_from_profile(p)
+            rows.append(
+                [gpu, impl, f"{pt.arithmetic_intensity:.3f}", f"{pt.gflops:.0f}",
+                 f"{model.bandwidth_fraction(pt):.0%}"]
+            )
+    print(format_table(["GPU", "Jacobian impl", "AI [flop/B]", "GFLOP/s", "frac peak BW"], rows))
+    print("-> optimization raises arithmetic intensity (less data moved) and bandwidth fraction\n")
+
+
+def portability_story(profiles) -> None:
+    print("=== 4. time-oriented model and Phi (Figs. 4-5, Table IV analogue) ===")
+    rows = []
+    for mode in ("jacobian", "residual"):
+        th = theoretical_minimum(f"optimized-{mode}", ANTARCTICA_16KM.num_cells)
+        m = TimeOrientedModel(kernel=mode, theoretical=th, peak_bandwidth=A100.hbm_bytes_per_s)
+        for impl in ("baseline", "optimized"):
+            effs_t, effs_d = [], []
+            for gpu in ("A100", "MI250X-GCD"):
+                pt = m.add_profile(profiles[(impl, mode, gpu)])
+                effs_t.append(min(1.0, m.efficiency_time(pt)))
+                effs_d.append(min(1.0, m.efficiency_data_movement(pt)))
+            rows.append(
+                [mode, impl,
+                 f"{effs_t[0]:.0%}/{effs_t[1]:.0%}", f"{performance_portability(effs_t):.0%}",
+                 f"{effs_d[0]:.0%}/{effs_d[1]:.0%}", f"{performance_portability(effs_d):.0%}"]
+            )
+    print(format_table(
+        ["kernel", "impl", "e_time A100/MI", "Phi(time)", "e_DM A100/MI", "Phi(DM)"], rows
+    ))
+    print("-> the paper's conclusion: data-locality optimizations lift Phi by tens of points")
+
+
+def main() -> None:
+    profiles = {}
+    for gpu, spec in (("A100", A100), ("MI250X-GCD", MI250X_GCD)):
+        sim = GPUSimulator(spec)
+        for mode in ("jacobian", "residual"):
+            profiles[("baseline", mode, gpu)] = sim.run(f"baseline-{mode}", ANTARCTICA_16KM)
+            lb = AMD_TUNED if gpu == "MI250X-GCD" else default_launch_bounds(mode)
+            profiles[("optimized", mode, gpu)] = sim.run(f"optimized-{mode}", ANTARCTICA_16KM, launch_bounds=lb)
+
+    trace_story()
+    speedup_story(profiles)
+    roofline_story(profiles)
+    portability_story(profiles)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Shim for environments without the `wheel` package (offline installs).
+
+`pip install -e . --no-build-isolation` requires bdist_wheel; when that is
+unavailable, `python setup.py develop` installs the package in editable
+mode using plain setuptools.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,21 @@
+"""PyMALI: a Python reproduction of "Performance Portable Optimizations
+of an Ice-sheet Modeling Code on GPU-supercomputers" (SC 2024).
+
+Public entry points:
+
+* :mod:`repro.app` -- the Antarctica velocity-solve test
+  (:class:`~repro.app.antarctica.AntarcticaTest`).
+* :mod:`repro.core` -- the paper's baseline/optimized kernels and the
+  variant registry.
+* :mod:`repro.gpusim` -- the A100/MI250X performance simulator
+  (:class:`~repro.gpusim.simulator.GPUSimulator`).
+* :mod:`repro.perf` -- Roofline, the time-oriented portability model,
+  and the Phi metric.
+
+See README.md for a tour and DESIGN.md for the system inventory;
+``python -m repro all`` regenerates every reproduced artifact.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

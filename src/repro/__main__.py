@@ -1,0 +1,189 @@
+"""Command-line reproduction driver: ``python -m repro <artifact>``.
+
+Regenerates the paper's tables/figures without the pytest harness:
+
+.. code-block:: bash
+
+    python -m repro table2      # LaunchBounds sweep on MI250X
+    python -m repro table3      # time per call + speedups
+    python -m repro table4      # efficiencies + Phi
+    python -m repro fig3        # rooflines (CSV-ready series + ASCII)
+    python -m repro fig5        # time-oriented portability plane
+    python -m repro solve       # the Antarctica velocity solve (coarse)
+    python -m repro all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.launch import TABLE2_LAUNCH_CONFIGS, default_launch_bounds
+from repro.gpusim import A100, MI250X_GCD, GPUSimulator, ANTARCTICA_16KM
+from repro.gpusim.specs import ALL_GPUS
+from repro.kokkos.policy import LaunchBounds
+from repro.perf import (
+    RooflineModel,
+    TimeOrientedModel,
+    theoretical_minimum,
+    performance_portability,
+    format_table,
+    ascii_scatter,
+)
+
+AMD_TUNED = LaunchBounds(128, 2)
+
+
+def _profiles():
+    out = {}
+    for gpu, spec in (("A100", A100), ("MI250X-GCD", MI250X_GCD)):
+        sim = GPUSimulator(spec)
+        for mode in ("jacobian", "residual"):
+            out[("baseline", mode, gpu)] = sim.run(f"baseline-{mode}", ANTARCTICA_16KM)
+            lb = AMD_TUNED if gpu == "MI250X-GCD" else None
+            out[("optimized", mode, gpu)] = sim.run(
+                f"optimized-{mode}", ANTARCTICA_16KM, launch_bounds=lb
+            )
+    return out
+
+
+def table2() -> None:
+    sim = GPUSimulator(MI250X_GCD)
+    rows = []
+    for mode in ("jacobian", "residual"):
+        base = None
+        for lb in TABLE2_LAUNCH_CONFIGS:
+            eff = lb if lb.explicit else default_launch_bounds(mode)
+            p = sim.run(f"optimized-{mode}", ANTARCTICA_16KM, launch_bounds=eff)
+            base = base or p.time_s
+            rows.append(
+                [mode, str(lb), p.time_s, p.arch_vgprs, p.accum_vgprs, f"{base / p.time_s:.2f}x"]
+            )
+    print(format_table(
+        ["kernel", "LaunchBounds", "time [s]", "Arch VGPR", "Accum VGPR", "speedup"],
+        rows,
+        title="Table II (reproduced): LaunchBounds on MI250X GCD",
+    ))
+
+
+def table3(profiles=None) -> None:
+    profiles = profiles or _profiles()
+    rows = []
+    for mode in ("jacobian", "residual"):
+        row = [mode]
+        for gpu in ("A100", "MI250X-GCD"):
+            b = profiles[("baseline", mode, gpu)]
+            o = profiles[("optimized", mode, gpu)]
+            row += [b.time_s, o.time_s, f"{b.time_s / o.time_s:.2f}x"]
+        rows.append(row)
+    print(format_table(
+        ["kernel", "base A100", "opt A100", "speedup", "base MI250X", "opt MI250X", "speedup"],
+        rows,
+        title="Table III (reproduced): time per call and speedup",
+    ))
+
+
+def table4(profiles=None) -> None:
+    profiles = profiles or _profiles()
+    th = {m: theoretical_minimum(f"optimized-{m}", ANTARCTICA_16KM.num_cells) for m in ("jacobian", "residual")}
+    rows = []
+    for impl in ("baseline", "optimized"):
+        for metric in ("e_time", "e_DM"):
+            for mode in ("jacobian", "residual"):
+                effs = []
+                for gpu in ("A100", "MI250X-GCD"):
+                    p = profiles[(impl, mode, gpu)]
+                    peak = ALL_GPUS[gpu].hbm_bytes_per_s
+                    if metric == "e_time":
+                        effs.append(min(1.0, th[mode].min_time_s(peak) / p.time_s))
+                    else:
+                        effs.append(min(1.0, th[mode].total_bytes / p.hbm_bytes))
+                rows.append(
+                    [impl, metric, mode, f"{effs[0]:.0%}", f"{effs[1]:.0%}",
+                     f"{performance_portability(effs):.0%}"]
+                )
+    print(format_table(
+        ["impl", "efficiency", "kernel", "A100", "1 GCD MI250X", "Phi"],
+        rows,
+        title="Table IV (reproduced): efficiencies and portability metric",
+    ))
+
+
+def fig3(profiles=None) -> None:
+    profiles = profiles or _profiles()
+    for gpu, spec in (("A100", A100), ("MI250X-GCD", MI250X_GCD)):
+        model = RooflineModel(spec)
+        pts, marks = [], {"baseline-jacobian": "J", "optimized-jacobian": "j",
+                          "baseline-residual": "R", "optimized-residual": "r"}
+        for (impl, mode, g), p in profiles.items():
+            if g == gpu:
+                pts.append((p.arithmetic_intensity, p.gflops_per_s, marks[f"{impl}-{mode}"]))
+        ai, gf = model.ceiling_series()
+        print(f"\nFigure 3 (reproduced) -- roofline, {gpu} "
+              "(J/j = Jacobian base/opt, R/r = Residual)")
+        print(ascii_scatter(
+            pts,
+            lines=[(ai[0], float(gf[0]), model.ridge_point, spec.fp64_flops / 1e9, "/"),
+                   (model.ridge_point, spec.fp64_flops / 1e9, ai[-1], spec.fp64_flops / 1e9, "-")],
+            xlabel="AI [flop/byte]",
+            ylabel="GFLOP/s",
+        ))
+
+
+def fig5(profiles=None) -> None:
+    profiles = profiles or _profiles()
+    for mode in ("jacobian", "residual"):
+        th = theoretical_minimum(f"optimized-{mode}", ANTARCTICA_16KM.num_cells)
+        m = TimeOrientedModel(kernel=mode, theoretical=th, peak_bandwidth=A100.hbm_bytes_per_s)
+        marks = {("baseline", "A100"): "B", ("optimized", "A100"): "O",
+                 ("baseline", "MI250X-GCD"): "b", ("optimized", "MI250X-GCD"): "o"}
+        pts = []
+        for (impl, md, gpu), p in profiles.items():
+            if md == mode:
+                tp = m.add_profile(p)
+                pts.append((tp.bytes_moved, tp.time_s, marks[(impl, gpu)]))
+        wall_b, wall_t = m.achievable_point
+        xs, ts, wall = m.series()
+        print(f"\nFigure 5 (reproduced) -- time-oriented model, {mode} "
+              "(B/O = A100 base/opt, b/o = MI250X, * = achievable)")
+        print(ascii_scatter(
+            pts + [(wall_b, wall_t, "*")],
+            lines=[(xs[0], float(ts[0]), xs[-1], float(ts[-1]), "/"),
+                   (wall, float(ts[0]) * 0.5, wall, float(ts[-1]) * 2.0, "|")],
+            xlabel="HBM bytes moved",
+            ylabel="time/invocation [s]",
+        ))
+
+
+def solve() -> None:
+    from repro.app import AntarcticaConfig, AntarcticaTest
+
+    test = AntarcticaTest.build(AntarcticaConfig(resolution_km=300.0, num_layers=5))
+    sol = test.run(callback=lambda k, x, f, lin: print(f"  newton {k + 1}: |F| = {f:.3e}"))
+    passed, ref = test.check(sol)
+    print(f"mean |u| = {sol.mean_velocity:.6f} m/yr  regression: {'PASS' if passed else 'FAIL'}")
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
+    ap.add_argument("artifact", choices=["table2", "table3", "table4", "fig3", "fig5", "solve", "all"])
+    args = ap.parse_args(argv)
+    if args.artifact == "all":
+        profiles = _profiles()
+        table2()
+        print()
+        table3(profiles)
+        print()
+        table4(profiles)
+        fig3(profiles)
+        fig5(profiles)
+        print()
+        solve()
+    else:
+        {"table2": table2, "table3": table3, "table4": table4,
+         "fig3": fig3, "fig5": fig5, "solve": solve}[args.artifact]()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

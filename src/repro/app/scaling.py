@@ -1,0 +1,173 @@
+"""Multi-GPU scaling model (the paper's future-work direction).
+
+Combines the single-GPU kernel times from :mod:`repro.gpusim` with a
+communication model of the machines' interconnects to project weak and
+strong scaling of the velocity solver's GPU phase:
+
+* per-rank kernel work from the simulator (Jacobian + Residual per
+  Newton step, times the calibrated solver-phase multiplier);
+* halo exchange per Newton step: ghost-column surface area from the
+  partition statistics, bytes = ghost nodes x levels x dofs x 8 B, at
+  the node-interconnect bandwidth (Slingshot-11: 25 GB/s/NIC per
+  direction on both machines, 4 NICs/node, paper Section IV-A);
+* an allreduce latency term (log2 P) for the Newton/Krylov dot products.
+
+This is a model, not a simulation of MPI -- it exists to let the
+scaling examples and benches explore the paper's "scalability studies"
+outlook with the same calibrated kernel costs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.gpusim.simulator import GPUSimulator, ProblemSize
+from repro.gpusim.specs import GPUSpec
+from repro.kokkos.policy import LaunchBounds
+
+__all__ = ["InterconnectSpec", "SLINGSHOT11", "ScalingModel", "ScalingPoint"]
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """Node interconnect description (paper Section IV-A)."""
+
+    name: str
+    bandwidth_per_nic: float  # bytes/s per direction
+    nics_per_node: int
+    gpus_per_node: int
+    latency_s: float  # per message
+
+
+#: Slingshot 11 as deployed on Perlmutter and Frontier: 4 NICs/node at
+#: 25 GB/s/direction, 4 GPUs (GCDs: 8, but one NIC serves two) per node.
+SLINGSHOT11 = InterconnectSpec(
+    name="Slingshot-11",
+    bandwidth_per_nic=25.0e9,
+    nics_per_node=4,
+    gpus_per_node=4,
+    latency_s=2.0e-6,
+)
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """Projected per-Newton-step time at one GPU count."""
+
+    num_gpus: int
+    cells_per_gpu: int
+    t_kernels: float
+    t_halo: float
+    t_allreduce: float
+
+    @property
+    def t_step(self) -> float:
+        return self.t_kernels + self.t_halo + self.t_allreduce
+
+    @property
+    def communication_fraction(self) -> float:
+        return (self.t_halo + self.t_allreduce) / self.t_step
+
+
+class ScalingModel:
+    """Weak/strong scaling of the velocity solver's GPU phase."""
+
+    def __init__(
+        self,
+        spec: GPUSpec,
+        interconnect: InterconnectSpec = SLINGSHOT11,
+        kernel_impl: str = "optimized",
+        launch_bounds: LaunchBounds | None = None,
+        levels: int = 21,
+        linear_iters_per_newton: float = 40.0,
+    ):
+        self.spec = spec
+        self.interconnect = interconnect
+        self.kernel_impl = kernel_impl
+        self.launch_bounds = launch_bounds
+        self.levels = levels
+        self.linear_iters = linear_iters_per_newton
+        self._sim = GPUSimulator(spec)
+
+    # -- pieces -----------------------------------------------------------
+    def kernel_time_per_step(self, cells_per_gpu: int) -> float:
+        """One Jacobian + one Residual evaluation per Newton step."""
+        prob = ProblemSize(cells_per_gpu)
+        tj = self._sim.run(f"{self.kernel_impl}-jacobian", prob, launch_bounds=self.launch_bounds).time_s
+        tr = self._sim.run(f"{self.kernel_impl}-residual", prob, launch_bounds=self.launch_bounds).time_s
+        return tj + tr
+
+    def ghost_columns(self, cells_per_gpu: int) -> float:
+        """Halo width estimate: the partition boundary of a compact 2-D patch.
+
+        ``cells_per_gpu`` hexahedra over ``levels - 1`` layers gives a
+        footprint patch of ``A = cells / nz`` columns; a compact patch
+        has a boundary of about ``4 sqrt(A)`` columns.
+        """
+        nz = self.levels - 1
+        area = max(1.0, cells_per_gpu / nz)
+        return 4.0 * math.sqrt(area)
+
+    def halo_time_per_step(self, cells_per_gpu: int, num_gpus: int) -> float:
+        if num_gpus <= 1:
+            return 0.0
+        cols = self.ghost_columns(cells_per_gpu)
+        bytes_per_exchange = cols * self.levels * 2 * 8.0  # 2 dofs, fp64
+        bw = self.interconnect.bandwidth_per_nic * self.interconnect.nics_per_node
+        bw_per_gpu = bw / self.interconnect.gpus_per_node
+        # one halo refresh per linear iteration (SpMV) plus one per step
+        exchanges = self.linear_iters + 1.0
+        return exchanges * (bytes_per_exchange / bw_per_gpu + self.interconnect.latency_s)
+
+    def allreduce_time_per_step(self, num_gpus: int) -> float:
+        if num_gpus <= 1:
+            return 0.0
+        # 2 dots per Krylov iteration, log-tree latency
+        hops = math.ceil(math.log2(num_gpus))
+        return 2.0 * self.linear_iters * hops * self.interconnect.latency_s
+
+    # -- projections ------------------------------------------------------
+    def weak_scaling(self, cells_per_gpu: int, gpu_counts: list[int]) -> list[ScalingPoint]:
+        """Fixed work per GPU; ideal behavior is flat time per step."""
+        out = []
+        tk = self.kernel_time_per_step(cells_per_gpu)
+        for p in gpu_counts:
+            out.append(
+                ScalingPoint(
+                    num_gpus=p,
+                    cells_per_gpu=cells_per_gpu,
+                    t_kernels=tk,
+                    t_halo=self.halo_time_per_step(cells_per_gpu, p),
+                    t_allreduce=self.allreduce_time_per_step(p),
+                )
+            )
+        return out
+
+    def strong_scaling(self, total_cells: int, gpu_counts: list[int]) -> list[ScalingPoint]:
+        """Fixed total work; ideal behavior is 1/P time per step."""
+        out = []
+        for p in gpu_counts:
+            local = max(1, total_cells // p)
+            out.append(
+                ScalingPoint(
+                    num_gpus=p,
+                    cells_per_gpu=local,
+                    t_kernels=self.kernel_time_per_step(local),
+                    t_halo=self.halo_time_per_step(local, p),
+                    t_allreduce=self.allreduce_time_per_step(p),
+                )
+            )
+        return out
+
+    @staticmethod
+    def efficiency(points: list[ScalingPoint], mode: str) -> list[float]:
+        """Parallel efficiency per point (1.0 = ideal)."""
+        if not points:
+            return []
+        t0, p0 = points[0].t_step, points[0].num_gpus
+        if mode == "weak":
+            return [t0 / pt.t_step for pt in points]
+        if mode == "strong":
+            return [(t0 * p0) / (pt.t_step * pt.num_gpus) for pt in points]
+        raise ValueError(f"unknown scaling mode {mode!r}")

@@ -1,0 +1,115 @@
+"""Math functions that dispatch on plain numpy arrays and Fad values.
+
+Physics code (Glen's-law viscosity, friction laws) is written once against
+these functions and works for both the Residual evaluation (plain float64)
+and the Jacobian evaluation (``SFad(16)``), mirroring how Albany templates
+its evaluators on the scalar type.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff.sfad import FadArray
+
+__all__ = [
+    "sqrt",
+    "exp",
+    "log",
+    "power",
+    "sin",
+    "cos",
+    "tanh",
+    "hypot3",
+    "maximum",
+    "minimum",
+    "where",
+    "clip",
+]
+
+
+def sqrt(x):
+    if isinstance(x, FadArray):
+        r = np.sqrt(x.val)
+        return x._like(r, x.dx * (0.5 / r)[..., None])
+    return np.sqrt(x)
+
+
+def exp(x):
+    if isinstance(x, FadArray):
+        r = np.exp(x.val)
+        return x._like(r, x.dx * r[..., None])
+    return np.exp(x)
+
+
+def log(x):
+    if isinstance(x, FadArray):
+        return x._like(np.log(x.val), x.dx / x.val[..., None])
+    return np.log(x)
+
+
+def power(x, p):
+    """``x**p`` with ``p`` a plain exponent (possibly non-integer)."""
+    if isinstance(x, FadArray):
+        return x.__pow__(p)
+    return np.power(x, p)
+
+
+def sin(x):
+    if isinstance(x, FadArray):
+        return x._like(np.sin(x.val), x.dx * np.cos(x.val)[..., None])
+    return np.sin(x)
+
+
+def cos(x):
+    if isinstance(x, FadArray):
+        return x._like(np.cos(x.val), -x.dx * np.sin(x.val)[..., None])
+    return np.cos(x)
+
+
+def tanh(x):
+    if isinstance(x, FadArray):
+        r = np.tanh(x.val)
+        return x._like(r, x.dx * (1.0 - r * r)[..., None])
+    return np.tanh(x)
+
+
+def hypot3(x, y, z):
+    """sqrt(x^2 + y^2 + z^2), AD-safe away from the origin."""
+    return sqrt(x * x + y * y + z * z)
+
+
+def _select(cond, a, b):
+    """numpy.where generalized to Fad operands (derivatives selected too)."""
+    cond = np.asarray(cond)
+    a_fad = isinstance(a, FadArray)
+    b_fad = isinstance(b, FadArray)
+    if not a_fad and not b_fad:
+        return np.where(cond, a, b)
+    ref = a if a_fad else b
+    n = ref.num_derivs
+    av = a.val if a_fad else np.asarray(a, dtype=np.float64)
+    bv = b.val if b_fad else np.asarray(b, dtype=np.float64)
+    adx = a.dx if a_fad else np.zeros(np.shape(av) + (n,))
+    bdx = b.dx if b_fad else np.zeros(np.shape(bv) + (n,))
+    return ref._like(np.where(cond, av, bv), np.where(cond[..., None], adx, bdx))
+
+
+def where(cond, a, b):
+    return _select(cond, a, b)
+
+
+def maximum(a, b):
+    av = a.val if isinstance(a, FadArray) else np.asarray(a)
+    bv = b.val if isinstance(b, FadArray) else np.asarray(b)
+    return _select(av >= bv, a, b)
+
+
+def minimum(a, b):
+    av = a.val if isinstance(a, FadArray) else np.asarray(a)
+    bv = b.val if isinstance(b, FadArray) else np.asarray(b)
+    return _select(av <= bv, a, b)
+
+
+def clip(x, lo, hi):
+    return minimum(maximum(x, lo), hi)

@@ -1,0 +1,87 @@
+"""Seeding independent variables and extracting Jacobians.
+
+The element-Jacobian workflow mirrors Albany's ``GatherSolution`` /
+``ScatterResidual`` pair: nodal unknowns are gathered into Fad values
+seeded with the identity, the residual kernel runs on the Fad type, and
+the local Jacobian is read off the derivative components.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff.sfad import FadArray, SFad
+
+__all__ = [
+    "seed_independent",
+    "seed_block",
+    "extract_jacobian",
+    "finite_difference_jacobian",
+]
+
+
+def seed_independent(values) -> FadArray:
+    """Seed a flat vector of ``n`` unknowns as ``n`` independent variables.
+
+    Returns an ``SFad(n)`` array of shape ``(n,)`` whose derivative matrix
+    is the identity.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 1:
+        raise ValueError("seed_independent expects a 1-D vector of unknowns")
+    n = values.shape[0]
+    cls = SFad(n)
+    return cls(values, np.eye(n))
+
+
+def seed_block(values, num_derivs: int, offset: int = 0) -> FadArray:
+    """Seed a batch of local unknown blocks as independent variables.
+
+    Parameters
+    ----------
+    values:
+        Array of shape ``(..., k)`` -- trailing axis enumerates the local
+        unknowns of each block (e.g. per-element dofs).
+    num_derivs:
+        Total derivative components of the Fad type (e.g. 16).
+    offset:
+        Derivative index of the first local unknown; local unknown ``j``
+        is seeded at component ``offset + j``.
+
+    Returns an ``SFad(num_derivs)`` array of the same shape, vectorized
+    over the leading axes.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    k = values.shape[-1]
+    if offset + k > num_derivs:
+        raise ValueError(
+            f"block of {k} unknowns at offset {offset} exceeds {num_derivs} derivatives"
+        )
+    dx = np.zeros(values.shape + (num_derivs,))
+    idx = np.arange(k)
+    dx[..., idx, offset + idx] = 1.0
+    return SFad(num_derivs)(values, dx)
+
+
+def extract_jacobian(residual: FadArray) -> tuple[np.ndarray, np.ndarray]:
+    """Split a Fad residual into (values, local Jacobian).
+
+    For a residual of shape ``S`` with ``n`` derivative components the
+    Jacobian has shape ``S + (n,)``.
+    """
+    return residual.val.copy(), residual.dx.copy()
+
+
+def finite_difference_jacobian(f, x, eps: float = 1.0e-7) -> np.ndarray:
+    """Dense central-difference Jacobian of ``f`` at ``x`` (testing aid)."""
+    x = np.asarray(x, dtype=np.float64)
+    f0 = np.asarray(f(x), dtype=np.float64)
+    jac = np.zeros(f0.shape + x.shape)
+    for j in np.ndindex(x.shape):
+        h = eps * max(1.0, abs(x[j]))
+        xp = x.copy()
+        xm = x.copy()
+        xp[j] += h
+        xm[j] -= h
+        jac[(...,) + j] = (np.asarray(f(xp)) - np.asarray(f(xm))) / (2.0 * h)
+    return jac

@@ -1,0 +1,46 @@
+"""Physical constants and unit conventions for the land-ice model.
+
+Unit system (follows Albany/FELIX conventions, Tezaur et al. 2015):
+
+* lengths in meters,
+* velocities in meters per year (m/yr),
+* time in years,
+* stresses in kilopascals (kPa) -- scaling the stress keeps residual and
+  Jacobian entries O(1)-O(1e3) which keeps GMRES well conditioned,
+* Glen's flow-rate factor ``A`` in kPa^-n yr^-1.
+
+With these choices the effective viscosity from Glen's law comes out in
+kPa*yr and the gravitational driving stress ``rho * g * H * grad(s)`` in
+kPa, matching the magnitudes Albany assembles.
+"""
+
+from __future__ import annotations
+
+#: Ice density [kg m^-3].
+RHO_ICE = 910.0
+
+#: Seawater density [kg m^-3] (used for floatation / shelf geometry).
+RHO_SEAWATER = 1028.0
+
+#: Gravitational acceleration [m s^-2].
+GRAVITY = 9.8
+
+#: Seconds per year (365.25 days).
+SECONDS_PER_YEAR = 3.1536e7
+
+#: rho * g expressed in kPa / m: 910 * 9.8 Pa/m = 8918 Pa/m = 8.918 kPa/m.
+RHO_G_KPA = RHO_ICE * GRAVITY * 1.0e-3
+
+#: Glen's flow-law exponent.
+GLEN_N = 3.0
+
+#: Default Glen's law flow-rate factor ``A`` [kPa^-3 yr^-1].
+#: 3.1689e-24 Pa^-3 s^-1 * 3.1536e7 s/yr * (1e3 Pa/kPa)^3 ~= 1e-7.
+GLEN_A_DEFAULT = 1.0e-7
+
+#: Regularization added to the effective strain rate squared [yr^-2] so the
+#: viscosity stays finite when the ice is motionless.
+STRAIN_RATE_REG = 1.0e-10
+
+#: Default basal friction coefficient for a linear sliding law [kPa yr m^-1].
+BETA_DEFAULT = 1.0e1

@@ -1,0 +1,30 @@
+"""LaunchBounds configurations of the paper's Table II.
+
+The paper sweeps ``Kokkos::LaunchBounds<MaxThreads, MinBlocks>`` on the
+MI250X for the optimized kernels.  Defaults (no explicit bounds) are
+256 threads for the Jacobian and 1024 for the Residual, per Section VI.
+"""
+
+from __future__ import annotations
+
+from repro.kokkos.policy import DEFAULT_LAUNCH_BOUNDS, LaunchBounds
+
+__all__ = ["TABLE2_LAUNCH_CONFIGS", "default_launch_bounds"]
+
+#: The five columns of Table II.
+TABLE2_LAUNCH_CONFIGS: list[LaunchBounds] = [
+    DEFAULT_LAUNCH_BOUNDS,
+    LaunchBounds(128, 2),
+    LaunchBounds(128, 4),
+    LaunchBounds(256, 2),
+    LaunchBounds(1024, 2),
+]
+
+
+def default_launch_bounds(mode: str) -> LaunchBounds:
+    """Kokkos default block size per kernel (Jacobian 256, Residual 1024)."""
+    if mode == "jacobian":
+        return LaunchBounds(256, 1, explicit=False)
+    if mode == "residual":
+        return LaunchBounds(1024, 1, explicit=False)
+    raise ValueError(f"unknown kernel mode {mode!r}")

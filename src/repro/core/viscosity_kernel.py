@@ -1,0 +1,127 @@
+"""The ``ViscosityFO`` kernel as a single-source per-cell body.
+
+The paper's future work proposes evaluating *several* velocity-solver
+kernels with the time-oriented portability model.  ``ViscosityFO`` is
+the next kernel in Albany's evaluation chain after the gradient
+interpolation: per quadrature point it reads the six velocity-gradient
+components, forms the FO effective strain rate, and writes Glen's-law
+viscosity.  Unlike the Residual/Jacobian kernel it is purely streaming
+(no accumulation), so its baseline and optimized forms differ only in
+loop bounds -- a useful contrast point in the portability plane.
+
+The body is single-source like ``StokesFOResid``: numeric (vectorized or
+serial) and trace execution run the same code.  Numerics are tested
+against the vectorized evaluator in :mod:`repro.physics.evaluators`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.autodiff.sfad import SFad
+from repro.kokkos.instrument import TraceContext, TraceView
+from repro.kokkos.view import DOUBLE, ScalarSpec, View, fad_spec
+
+__all__ = ["ViscosityFields", "ViscosityTraceFields", "make_viscosity_fields", "ViscosityFOKernel"]
+
+
+@dataclass
+class ViscosityFields:
+    """Views consumed by the ViscosityFO kernel."""
+
+    Ugrad: View  # (nc, nqp, 2, 3), ScalarT
+    flowFactor: View  # (nc, nqp), double (temperature-derived)
+    muLandIce: View  # (nc, nqp), ScalarT (output)
+    scalar: ScalarSpec
+    glen_n: float = 3.0
+    reg: float = 1.0e-10
+
+    @property
+    def num_cells(self) -> int:
+        return self.Ugrad.shape[0]
+
+    @property
+    def num_qps(self) -> int:
+        return self.Ugrad.shape[1]
+
+
+class ViscosityTraceFields:
+    """Trace-mode twin of :class:`ViscosityFields`."""
+
+    def __init__(self, fields: ViscosityFields, ctx: TraceContext | None = None):
+        self.ctx = ctx or TraceContext()
+        self.scalar = fields.scalar
+        self.glen_n = fields.glen_n
+        self.reg = fields.reg
+        for name in ("Ugrad", "flowFactor", "muLandIce"):
+            setattr(self, name, TraceView(self.ctx, getattr(fields, name)))
+        self._num_qps = fields.num_qps
+
+    @property
+    def num_cells(self) -> int:
+        return 1
+
+    @property
+    def num_qps(self) -> int:
+        return self._num_qps
+
+
+def make_viscosity_fields(num_cells: int, num_qps: int = 8, mode: str = "residual") -> ViscosityFields:
+    """Allocate the kernel's views (Fad-typed for the Jacobian pass)."""
+    if mode == "residual":
+        scalar = DOUBLE
+    elif mode == "jacobian":
+        scalar = fad_spec(16)
+    else:
+        raise ValueError(f"unknown kernel mode {mode!r}")
+    return ViscosityFields(
+        Ugrad=View("Ugrad", (num_cells, num_qps, 2, 3), scalar),
+        flowFactor=View("flowFactor", (num_cells, num_qps), DOUBLE),
+        muLandIce=View("muLandIce", (num_cells, num_qps), scalar),
+        scalar=scalar,
+    )
+
+
+def _power(x, p):
+    """x**p for floats, Fad values and trace scalars alike."""
+    return x**p
+
+
+class ViscosityFOKernel:
+    """Glen's-law viscosity at each quadrature point (streaming kernel)."""
+
+    name = "ViscosityFO<LandIce>"
+
+    def __init__(self, fields):
+        self.fields = fields
+        self.Ugrad = fields.Ugrad
+        self.flowFactor = fields.flowFactor
+        self.muLandIce = fields.muLandIce
+        self.numQPs = int(fields.num_qps)
+        self.glen_n = fields.glen_n
+        self.reg = fields.reg
+
+    def __call__(self, cell):
+        Ugrad = self.Ugrad
+        n = self.glen_n
+        exponent = (1.0 - n) / (2.0 * n)
+        for qp in range(self.numQPs):
+            ux = Ugrad[cell, qp, 0, 0]
+            uy = Ugrad[cell, qp, 0, 1]
+            uz = Ugrad[cell, qp, 0, 2]
+            vx = Ugrad[cell, qp, 1, 0]
+            vy = Ugrad[cell, qp, 1, 1]
+            vz = Ugrad[cell, qp, 1, 2]
+            shear = uy + vx
+            eps_sq = (
+                ux * ux
+                + vy * vy
+                + ux * vy
+                + 0.25 * (shear * shear)
+                + 0.25 * (uz * uz)
+                + 0.25 * (vz * vz)
+            )
+            a_term = _power(self.flowFactor[cell, qp], -1.0 / n)
+            self.muLandIce[cell, qp] = 0.5 * a_term * _power(eps_sq + self.reg, exponent)

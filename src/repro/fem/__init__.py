@@ -1,0 +1,37 @@
+"""Finite-element substrate (Albany's discretization layer analogue).
+
+Provides reference elements, Gauss quadrature, the per-element basis
+data the Stokes kernels consume (``wBF``, ``wGradBF``), dof maps, a CSR
+sparse matrix, and vectorized local-to-global assembly.
+"""
+
+from repro.fem.reference import Quad4, Tri3, Hex8, Wedge6, reference_element
+from repro.fem.quadrature import gauss_legendre_1d, quadrature_rule
+from repro.fem.discretization import BasisData, compute_basis_data, compute_face_basis_data
+from repro.fem.dofmap import DofMap
+from repro.fem.sparse import CsrMatrix
+from repro.fem.assembly import (
+    build_sparsity,
+    assemble_matrix,
+    assemble_vector,
+    apply_dirichlet,
+)
+
+__all__ = [
+    "Quad4",
+    "Tri3",
+    "Hex8",
+    "Wedge6",
+    "reference_element",
+    "gauss_legendre_1d",
+    "quadrature_rule",
+    "BasisData",
+    "compute_basis_data",
+    "compute_face_basis_data",
+    "DofMap",
+    "CsrMatrix",
+    "build_sparsity",
+    "assemble_matrix",
+    "assemble_vector",
+    "apply_dirichlet",
+]

@@ -1,0 +1,70 @@
+"""Degree-of-freedom maps for vector-valued nodal unknowns.
+
+The FO Stokes solve has two velocity components per node; dofs are
+numbered ``node * ndof_per_node + component`` (interleaved), which keeps
+each node's components adjacent -- the layout Albany/Trilinos use and
+the one the vertical-line smoother relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DofMap"]
+
+
+@dataclass
+class DofMap:
+    """Maps (node, component) to global dof ids and elements to dof lists."""
+
+    num_nodes: int
+    ndof_per_node: int
+    elems: np.ndarray  # (nc, nn) node connectivity
+
+    def __post_init__(self):
+        self.elems = np.asarray(self.elems, dtype=np.int64)
+        if self.elems.size and self.elems.max() >= self.num_nodes:
+            raise ValueError("connectivity references nodes beyond num_nodes")
+
+    @property
+    def num_dofs(self) -> int:
+        return self.num_nodes * self.ndof_per_node
+
+    @property
+    def dofs_per_elem(self) -> int:
+        return self.elems.shape[1] * self.ndof_per_node
+
+    def dof(self, node, comp):
+        """Global dof id(s) of (node, component)."""
+        return np.asarray(node) * self.ndof_per_node + comp
+
+    def node_of(self, dof):
+        return np.asarray(dof) // self.ndof_per_node
+
+    def comp_of(self, dof):
+        return np.asarray(dof) % self.ndof_per_node
+
+    def elem_dofs(self) -> np.ndarray:
+        """Per-element dof lists, shape (nc, nn * ndof).
+
+        Local ordering is node-major: ``(node0, c0), (node0, c1), (node1,
+        c0) ...`` matching the 16-derivative SFad layout of the Jacobian
+        kernel (8 nodes x 2 components).
+        """
+        nd = self.ndof_per_node
+        base = self.elems[:, :, None] * nd  # (nc, nn, 1)
+        comps = np.arange(nd)[None, None, :]
+        return (base + comps).reshape(len(self.elems), -1)
+
+    def gather(self, solution: np.ndarray) -> np.ndarray:
+        """Per-element local solution blocks, shape (nc, nn * ndof)."""
+        solution = np.asarray(solution)
+        if solution.shape != (self.num_dofs,):
+            raise ValueError(f"solution must have {self.num_dofs} dofs")
+        return solution[self.elem_dofs()]
+
+    def nodal_view(self, solution: np.ndarray) -> np.ndarray:
+        """Reshape a dof vector to ``(num_nodes, ndof_per_node)`` (a view)."""
+        return np.asarray(solution).reshape(self.num_nodes, self.ndof_per_node)

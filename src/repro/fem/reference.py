@@ -1,0 +1,186 @@
+"""Reference elements: shape functions and gradients, vectorized.
+
+Low-order nodal elements as used by MALI: bilinear quads and linear
+triangles in the footprint, trilinear hexahedra and linear wedges
+(prisms) in the extruded mesh.  ``shape``/``grad`` accept an ``(npts,
+dim)`` array of reference coordinates and return ``(npts, nn)`` /
+``(npts, nn, dim)`` arrays.
+
+Reference domains: quad/hex use ``[-1, 1]^d``; triangle uses the unit
+simplex; the wedge is (unit triangle) x ``[-1, 1]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Quad4", "Tri3", "Hex8", "Wedge6", "reference_element"]
+
+
+class _ReferenceElement:
+    name: str
+    dim: int
+    num_nodes: int
+    #: reference coordinates of the nodes, shape (num_nodes, dim)
+    nodes: np.ndarray
+
+    @classmethod
+    def shape(cls, xi: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    @classmethod
+    def grad(cls, xi: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    @classmethod
+    def _check(cls, xi) -> np.ndarray:
+        xi = np.atleast_2d(np.asarray(xi, dtype=np.float64))
+        if xi.shape[1] != cls.dim:
+            raise ValueError(f"{cls.name}: reference points must have dim {cls.dim}")
+        return xi
+
+
+class Quad4(_ReferenceElement):
+    """Bilinear quadrilateral on [-1,1]^2, CCW node order."""
+
+    name = "quad4"
+    dim = 2
+    num_nodes = 4
+    nodes = np.array([[-1.0, -1.0], [1.0, -1.0], [1.0, 1.0], [-1.0, 1.0]])
+
+    @classmethod
+    def shape(cls, xi):
+        xi = cls._check(xi)
+        s, t = xi[:, 0], xi[:, 1]
+        return 0.25 * np.stack(
+            [(1 - s) * (1 - t), (1 + s) * (1 - t), (1 + s) * (1 + t), (1 - s) * (1 + t)],
+            axis=1,
+        )
+
+    @classmethod
+    def grad(cls, xi):
+        xi = cls._check(xi)
+        s, t = xi[:, 0], xi[:, 1]
+        g = np.empty((len(xi), 4, 2))
+        g[:, 0] = np.stack([-(1 - t), -(1 - s)], axis=1) * 0.25
+        g[:, 1] = np.stack([(1 - t), -(1 + s)], axis=1) * 0.25
+        g[:, 2] = np.stack([(1 + t), (1 + s)], axis=1) * 0.25
+        g[:, 3] = np.stack([-(1 + t), (1 - s)], axis=1) * 0.25
+        return g
+
+
+class Tri3(_ReferenceElement):
+    """Linear triangle on the unit simplex."""
+
+    name = "tri3"
+    dim = 2
+    num_nodes = 3
+    nodes = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+
+    @classmethod
+    def shape(cls, xi):
+        xi = cls._check(xi)
+        s, t = xi[:, 0], xi[:, 1]
+        return np.stack([1.0 - s - t, s, t], axis=1)
+
+    @classmethod
+    def grad(cls, xi):
+        xi = cls._check(xi)
+        g = np.empty((len(xi), 3, 2))
+        g[:, 0] = (-1.0, -1.0)
+        g[:, 1] = (1.0, 0.0)
+        g[:, 2] = (0.0, 1.0)
+        return g
+
+
+class Hex8(_ReferenceElement):
+    """Trilinear hexahedron on [-1,1]^3.
+
+    Node order matches the extruded mesh: footprint quad at the bottom
+    face (zeta=-1), then the same quad at the top face (zeta=+1).
+    """
+
+    name = "hex8"
+    dim = 3
+    num_nodes = 8
+    nodes = np.array(
+        [
+            [-1.0, -1.0, -1.0],
+            [1.0, -1.0, -1.0],
+            [1.0, 1.0, -1.0],
+            [-1.0, 1.0, -1.0],
+            [-1.0, -1.0, 1.0],
+            [1.0, -1.0, 1.0],
+            [1.0, 1.0, 1.0],
+            [-1.0, 1.0, 1.0],
+        ]
+    )
+
+    @classmethod
+    def shape(cls, xi):
+        xi = cls._check(xi)
+        s, t, u = xi[:, 0], xi[:, 1], xi[:, 2]
+        q = Quad4.shape(xi[:, :2])
+        lo, hi = 0.5 * (1 - u), 0.5 * (1 + u)
+        return np.concatenate([q * lo[:, None], q * hi[:, None]], axis=1)
+
+    @classmethod
+    def grad(cls, xi):
+        xi = cls._check(xi)
+        u = xi[:, 2]
+        q = Quad4.shape(xi[:, :2])
+        qg = Quad4.grad(xi[:, :2])
+        lo, hi = 0.5 * (1 - u), 0.5 * (1 + u)
+        g = np.empty((len(xi), 8, 3))
+        g[:, :4, :2] = qg * lo[:, None, None]
+        g[:, 4:, :2] = qg * hi[:, None, None]
+        g[:, :4, 2] = -0.5 * q
+        g[:, 4:, 2] = 0.5 * q
+        return g
+
+
+class Wedge6(_ReferenceElement):
+    """Linear wedge (prism): unit triangle x [-1,1], bottom then top."""
+
+    name = "wedge6"
+    dim = 3
+    num_nodes = 6
+    nodes = np.concatenate(
+        [
+            np.concatenate([Tri3.nodes, -np.ones((3, 1))], axis=1),
+            np.concatenate([Tri3.nodes, np.ones((3, 1))], axis=1),
+        ]
+    )
+
+    @classmethod
+    def shape(cls, xi):
+        xi = cls._check(xi)
+        u = xi[:, 2]
+        t = Tri3.shape(xi[:, :2])
+        lo, hi = 0.5 * (1 - u), 0.5 * (1 + u)
+        return np.concatenate([t * lo[:, None], t * hi[:, None]], axis=1)
+
+    @classmethod
+    def grad(cls, xi):
+        xi = cls._check(xi)
+        u = xi[:, 2]
+        t = Tri3.shape(xi[:, :2])
+        tg = Tri3.grad(xi[:, :2])
+        lo, hi = 0.5 * (1 - u), 0.5 * (1 + u)
+        g = np.empty((len(xi), 6, 3))
+        g[:, :3, :2] = tg * lo[:, None, None]
+        g[:, 3:, :2] = tg * hi[:, None, None]
+        g[:, :3, 2] = -0.5 * t
+        g[:, 3:, 2] = 0.5 * t
+        return g
+
+
+_REGISTRY = {cls.name: cls for cls in (Quad4, Tri3, Hex8, Wedge6)}
+
+
+def reference_element(name: str):
+    """Look up a reference element by name (``quad4``/``tri3``/``hex8``/``wedge6``)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(f"unknown reference element {name!r}") from None

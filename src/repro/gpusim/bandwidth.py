@@ -1,0 +1,45 @@
+"""Achieved-bandwidth model.
+
+Sustained HBM bandwidth depends on how much memory-level parallelism the
+launch exposes: a saturating curve in occupancy (Little's law folded
+into two constants per architecture), capped by the architecture's
+realistic peak fraction, and reduced when the access stream contains
+read-modify-write global accumulations whose dependent load-store pairs
+stall the memory pipeline (the baseline kernel's pattern).
+"""
+
+from __future__ import annotations
+
+from repro.gpusim.specs import GPUSpec
+
+__all__ = ["achieved_bandwidth_fraction", "achieved_bandwidth"]
+
+
+def achieved_bandwidth_fraction(
+    spec: GPUSpec,
+    occupancy_fraction: float,
+    rmw_fraction: float = 0.0,
+) -> float:
+    """Fraction of peak HBM bandwidth a launch sustains.
+
+    Parameters
+    ----------
+    occupancy_fraction:
+        Resident warps / max warps per CU, in [0, 1].
+    rmw_fraction:
+        Fraction of global stores that are read-modify-write re-visits
+        (from the data-movement analysis).
+    """
+    if not 0.0 <= occupancy_fraction <= 1.0:
+        raise ValueError("occupancy fraction must be in [0, 1]")
+    if not 0.0 <= rmw_fraction <= 1.0:
+        raise ValueError("rmw fraction must be in [0, 1]")
+    sat = occupancy_fraction / (occupancy_fraction + spec.bw_half_occupancy)
+    frac = spec.bw_max_fraction * sat
+    frac *= 1.0 - rmw_fraction * (1.0 - spec.rmw_bandwidth_penalty)
+    return float(frac)
+
+
+def achieved_bandwidth(spec: GPUSpec, occupancy_fraction: float, rmw_fraction: float = 0.0) -> float:
+    """Achieved HBM bandwidth in bytes/s."""
+    return spec.hbm_bytes_per_s * achieved_bandwidth_fraction(spec, occupancy_fraction, rmw_fraction)

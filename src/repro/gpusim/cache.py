@@ -1,0 +1,97 @@
+"""Cache models: exact LRU stack distances and a reference LRU cache.
+
+The data-movement model classifies each access by its *reuse distance*
+(number of distinct locations touched since the previous access to the
+same location), computed with the classic Bennett-Kruskal algorithm
+(last-occurrence positions + a Fenwick tree), O(N log N).
+
+:class:`LruCache` is a direct fully-associative LRU simulator used to
+cross-check the distance-based classification in tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["stack_distances", "LruCache"]
+
+
+class _Fenwick:
+    """Binary indexed tree over positions (prefix sums of 0/1 marks)."""
+
+    def __init__(self, n: int):
+        self.n = n
+        self.tree = [0] * (n + 1)
+
+    def add(self, i: int, delta: int) -> None:
+        i += 1
+        while i <= self.n:
+            self.tree[i] += delta
+            i += i & (-i)
+
+    def prefix(self, i: int) -> int:
+        """Sum of marks over positions [0, i]."""
+        s = 0
+        i += 1
+        while i > 0:
+            s += self.tree[i]
+            i -= i & (-i)
+        return s
+
+
+def stack_distances(keys: list) -> np.ndarray:
+    """LRU stack distance per access (-1 for the first touch of a key).
+
+    ``distance[i]`` is the number of *distinct* keys accessed strictly
+    between the previous access to ``keys[i]`` and position ``i``.  A
+    fully-associative LRU cache of capacity ``C`` hits access ``i`` iff
+    ``0 <= distance[i] < C``.
+    """
+    n = len(keys)
+    dist = np.full(n, -1, dtype=np.int64)
+    last_pos: dict = {}
+    fw = _Fenwick(n)
+    for i, k in enumerate(keys):
+        p = last_pos.get(k)
+        if p is not None:
+            # distinct keys between p and i = marks in (p, i)
+            dist[i] = fw.prefix(i - 1) - fw.prefix(p)
+            fw.add(p, -1)
+        last_pos[k] = i
+        fw.add(i, +1)
+    return dist
+
+
+class LruCache:
+    """Reference fully-associative LRU cache at arbitrary key granularity."""
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError("cache capacity must be positive")
+        from collections import OrderedDict
+
+        self.capacity = capacity
+        self._set = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def access(self, key) -> bool:
+        """Touch ``key``; returns True on hit."""
+        if key in self._set:
+            self._set.move_to_end(key)
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._set[key] = True
+        if len(self._set) > self.capacity:
+            self._set.popitem(last=False)
+            self.evictions += 1
+        return False
+
+    def run(self, keys) -> tuple[int, int]:
+        """Access a whole trace; returns (hits, misses) for it."""
+        h0, m0 = self.hits, self.misses
+        for k in keys:
+            self.access(k)
+        return self.hits - h0, self.misses - m0

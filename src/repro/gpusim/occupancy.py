@@ -1,0 +1,63 @@
+"""Occupancy: how many warps are resident, and how full the launch is."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.gpusim.registers import Allocation
+from repro.gpusim.specs import GPUSpec
+
+__all__ = ["Occupancy", "compute_occupancy"]
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Residency of one kernel launch on one GPU."""
+
+    warps_per_cu: float
+    total_warps: float
+    fraction: float
+    num_blocks: int
+    threads_per_block: int
+    #: efficiency loss from the final partial wave of blocks
+    tail_efficiency: float
+
+
+def compute_occupancy(spec: GPUSpec, alloc: Allocation, num_cells: int) -> Occupancy:
+    """Residency from the register allocation and the problem size."""
+    if num_cells <= 0:
+        raise ValueError("num_cells must be positive")
+    tpb = alloc.threads_per_block
+    warps_per_block = max(1, math.ceil(tpb / spec.warp_size))
+
+    # blocks resident per CU, limited by registers (via max_warps) and size
+    blocks_per_cu = max(1, int(alloc.max_warps_per_cu // warps_per_block))
+    blocks_per_cu = min(blocks_per_cu, spec.max_threads_per_cu // min(tpb, spec.max_threads_per_cu))
+    blocks_per_cu = max(1, blocks_per_cu)
+    warps_per_cu = min(alloc.max_warps_per_cu, blocks_per_cu * warps_per_block)
+
+    num_blocks = math.ceil(num_cells / tpb)
+    resident_blocks = min(num_blocks, blocks_per_cu * spec.num_cus)
+    total_warps = min(
+        num_blocks * warps_per_block,
+        resident_blocks * warps_per_block,
+    )
+    fraction = warps_per_cu / spec.max_warps_per_cu
+
+    # wave quantization: the last scheduling wave of blocks is partial
+    per_wave = blocks_per_cu * spec.num_cus
+    full_waves, rem = divmod(num_blocks, per_wave)
+    if rem == 0:
+        tail = 1.0
+    else:
+        tail = (full_waves + rem / per_wave) / (full_waves + 1)
+
+    return Occupancy(
+        warps_per_cu=float(warps_per_cu),
+        total_warps=float(total_warps),
+        fraction=float(fraction),
+        num_blocks=num_blocks,
+        threads_per_block=tpb,
+        tail_efficiency=float(tail),
+    )

@@ -1,0 +1,109 @@
+"""Register allocation models (the Table II mechanism).
+
+**CDNA2 (MI250X).**  Each SIMD has 512 VGPRs split into 256
+architectural + 256 accumulation registers.  The backend picks an
+occupancy target in waves/SIMD from the launch bounds:
+
+* no explicit ``LaunchBounds``: the default target of 4 waves/SIMD;
+* explicit ``<MaxThreads, MinBlocks>``: ``max(MinBlocks,
+  ceil(waves_per_block / simds_per_cu))`` -- large blocks force waves
+  onto every SIMD regardless of ``MinBlocks``.
+
+The per-wave VGPR budget is ``512 / target``.  The compiler only
+schedules for the kernel's larger ("relaxed") allocation -- using
+accumulation VGPRs as fast spill space -- when the budget is at least
+half the register file (256), i.e. a target of <= 2 waves/SIMD;
+otherwise it emits the tight allocation, spilling overflow to scratch
+memory.  With the profiles measured from the real compiler (stored on
+each :class:`~repro.core.variants.KernelVariant`), this rule reproduces
+all ten (kernel x LaunchBounds) cells of the paper's Table II.
+
+**CUDA (A100).**  Registers per thread are a kernel property; occupancy
+follows from the 64K-register file and the block size (128 threads by
+default -- the paper observed no block-size sensitivity on the A100).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.variants import KernelVariant
+from repro.gpusim.specs import GPUSpec
+from repro.kokkos.policy import LaunchBounds
+
+__all__ = ["Allocation", "allocate_registers", "cdna2_vgpr_budget"]
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """Outcome of register allocation for one kernel launch."""
+
+    arch_vgprs: int
+    accum_vgprs: int
+    scratch_bytes: int
+    issue_penalty: float
+    profile: str  # "relaxed" | "tight" | "cuda"
+    threads_per_block: int
+    #: resident limit implied by registers, in warps per CU
+    max_warps_per_cu: float
+
+    @property
+    def total_vgprs(self) -> int:
+        return self.arch_vgprs + self.accum_vgprs
+
+
+def cdna2_vgpr_budget(spec: GPUSpec, bounds: LaunchBounds) -> tuple[int, int]:
+    """(per-wave VGPR budget, target waves/SIMD) for CDNA2."""
+    waves_per_block = max(1, math.ceil(bounds.max_threads / spec.warp_size))
+    forced = math.ceil(waves_per_block / spec.simds_per_cu)
+    if bounds.explicit:
+        target = max(bounds.min_blocks, forced)
+    else:
+        target = max(4, forced)
+    target = max(1, min(target, 8))
+    return spec.registers_per_cu // target, target
+
+
+def allocate_registers(spec: GPUSpec, variant: KernelVariant, bounds: LaunchBounds) -> Allocation:
+    """Model the compiler's register allocation for ``variant`` under ``bounds``."""
+    if spec.vendor == "amd":
+        budget, target = cdna2_vgpr_budget(spec, bounds)
+        relaxed = variant.profile_relaxed
+        if budget >= 256 and budget >= relaxed.total_vgprs:
+            prof, name = relaxed, "relaxed"
+        else:
+            prof, name = variant.profile_tight, "tight"
+        # resident waves limited by both the target and the allocation
+        per_simd = min(target, spec.registers_per_cu // max(1, prof.total_vgprs))
+        max_warps = per_simd * spec.simds_per_cu
+        return Allocation(
+            arch_vgprs=prof.arch_vgprs,
+            accum_vgprs=prof.accum_vgprs,
+            scratch_bytes=prof.scratch_bytes,
+            issue_penalty=prof.issue_penalty,
+            profile=name,
+            threads_per_block=bounds.max_threads,
+            max_warps_per_cu=float(max_warps),
+        )
+
+    if spec.vendor == "nvidia":
+        regs = variant.cuda_regs
+        threads_per_block = bounds.max_threads if bounds.explicit else 128
+        # register-file limit (allocation granularity of 8 regs/thread)
+        regs_alloc = math.ceil(regs / 8) * 8
+        threads_limit = spec.registers_per_cu // regs_alloc
+        threads_limit = min(threads_limit, spec.max_threads_per_cu)
+        blocks = max(1, threads_limit // threads_per_block)
+        warps = blocks * threads_per_block / spec.warp_size
+        return Allocation(
+            arch_vgprs=regs,
+            accum_vgprs=0,
+            scratch_bytes=variant.cuda_scratch_bytes,
+            issue_penalty=1.0,
+            profile="cuda",
+            threads_per_block=threads_per_block,
+            max_warps_per_cu=float(min(warps, spec.max_warps_per_cu)),
+        )
+
+    raise ValueError(f"unknown vendor {spec.vendor!r}")

@@ -1,0 +1,53 @@
+"""Mini-Kokkos: a Python analogue of the Kokkos programming model.
+
+Albany achieves performance portability by writing each kernel once
+against Kokkos ``View`` / ``parallel_for`` abstractions and letting the
+execution space map it to hardware.  This package reproduces that
+single-source structure:
+
+* :class:`~repro.kokkos.view.View` -- layout-aware multidimensional array
+  over ``float64`` or ``SFad(n)`` scalars.
+* :mod:`~repro.kokkos.policy` -- ``RangePolicy``, ``MDRangePolicy``,
+  ``TeamPolicy``, ``LaunchBounds`` and work tags.
+* :mod:`~repro.kokkos.space` -- execution spaces: ``HostVector`` (numpy
+  vectorized), ``HostSerial`` (per-index loop, for correctness tests) and
+  ``SimGPU`` (drives the trace-based GPU performance simulator).
+* :mod:`~repro.kokkos.parallel` -- ``parallel_for`` / ``parallel_reduce``.
+* :mod:`~repro.kokkos.instrument` -- recording views/scalars used to
+  extract per-thread access traces and flop counts from kernel bodies.
+"""
+
+from repro.kokkos.view import View, ScalarSpec, DOUBLE, fad_spec
+from repro.kokkos.policy import (
+    RangePolicy,
+    MDRangePolicy,
+    TeamPolicy,
+    LaunchBounds,
+    DEFAULT_LAUNCH_BOUNDS,
+)
+from repro.kokkos.space import HostVector, HostSerial, ExecutionSpace
+from repro.kokkos.parallel import parallel_for, parallel_reduce, deep_copy, fence
+from repro.kokkos.instrument import TraceContext, TraceView, TraceScalar, Access
+
+__all__ = [
+    "View",
+    "ScalarSpec",
+    "DOUBLE",
+    "fad_spec",
+    "RangePolicy",
+    "MDRangePolicy",
+    "TeamPolicy",
+    "LaunchBounds",
+    "DEFAULT_LAUNCH_BOUNDS",
+    "HostVector",
+    "HostSerial",
+    "ExecutionSpace",
+    "parallel_for",
+    "parallel_reduce",
+    "deep_copy",
+    "fence",
+    "TraceContext",
+    "TraceView",
+    "TraceScalar",
+    "Access",
+]

@@ -1,0 +1,95 @@
+"""``parallel_for`` / ``parallel_reduce`` dispatch (Kokkos analogues).
+
+Kernels are launched with a named dispatch onto an execution space; the
+name shows up in profiles exactly like Kokkos kernel labels do in Nsight
+or rocprof output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.kokkos.policy import RangePolicy
+from repro.kokkos.space import ExecutionSpace, HostVector
+from repro.kokkos.view import View, deep_copy_view
+
+__all__ = ["parallel_for", "parallel_reduce", "deep_copy", "fence", "Sum", "Max", "Min", "KERNEL_LOG"]
+
+_DEFAULT_SPACE = HostVector()
+
+
+@dataclass
+class _KernelLaunch:
+    name: str
+    extent: int
+    space: str
+
+
+#: Chronological log of kernel launches (profiling aid, cleared by tests).
+KERNEL_LOG: list[_KernelLaunch] = []
+
+
+class Sum:
+    @staticmethod
+    def reduce(acc: np.ndarray) -> float:
+        return float(np.sum(acc))
+
+    identity = 0.0
+
+
+class Max:
+    @staticmethod
+    def reduce(acc: np.ndarray) -> float:
+        return float(np.max(acc)) if acc.size else -np.inf
+
+    identity = -np.inf
+
+
+class Min:
+    @staticmethod
+    def reduce(acc: np.ndarray) -> float:
+        return float(np.min(acc)) if acc.size else np.inf
+
+    identity = np.inf
+
+
+def _coerce_policy(policy) -> RangePolicy:
+    if isinstance(policy, int):
+        return RangePolicy(0, policy)
+    return policy
+
+
+def parallel_for(name: str, policy, functor, space: ExecutionSpace | None = None) -> None:
+    """Execute ``functor`` over ``policy`` on ``space`` (default vectorized host)."""
+    policy = _coerce_policy(policy)
+    space = space or _DEFAULT_SPACE
+    KERNEL_LOG.append(_KernelLaunch(name, policy.extent, space.name))
+    space.run_range(policy, functor)
+
+
+def parallel_reduce(
+    name: str,
+    policy,
+    functor,
+    reducer=Sum,
+    space: ExecutionSpace | None = None,
+) -> float:
+    """Reduce ``functor`` contributions over ``policy``.
+
+    The functor signature is ``functor(i, acc)`` (plus a leading tag when
+    the policy carries one); contributions are written into ``acc``.
+    """
+    policy = _coerce_policy(policy)
+    space = space or _DEFAULT_SPACE
+    KERNEL_LOG.append(_KernelLaunch(name, policy.extent, space.name))
+    return space.run_range_reduce(policy, functor, reducer, reducer.identity)
+
+
+def deep_copy(dst: View, src: View) -> None:
+    deep_copy_view(dst, src)
+
+
+def fence() -> None:
+    """Global fence; host spaces are synchronous so this is a no-op."""

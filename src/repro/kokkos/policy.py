@@ -1,0 +1,114 @@
+"""Execution policies and launch-bounds hints (Kokkos analogues).
+
+``LaunchBounds`` mirrors ``Kokkos::LaunchBounds<MaxThreads, MinBlocks>``:
+it does not change numerics but is consumed by the GPU register-allocation
+and occupancy models (paper Table II studies exactly this knob on the
+MI250X).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "LaunchBounds",
+    "DEFAULT_LAUNCH_BOUNDS",
+    "RangePolicy",
+    "MDRangePolicy",
+    "TeamPolicy",
+]
+
+
+@dataclass(frozen=True)
+class LaunchBounds:
+    """``Kokkos::LaunchBounds<MaxThreads, MinBlocks>`` analogue.
+
+    ``explicit`` distinguishes user-provided bounds from compiler/Kokkos
+    defaults; on AMD the backend applies a different occupancy assumption
+    when no bounds are given (see :mod:`repro.gpusim.registers`).
+    """
+
+    max_threads: int = 256
+    min_blocks: int = 1
+    explicit: bool = True
+
+    def __post_init__(self):
+        if self.max_threads <= 0 or self.min_blocks <= 0:
+            raise ValueError("LaunchBounds parameters must be positive")
+
+    def __str__(self):
+        if not self.explicit:
+            return "default"
+        return f"{self.max_threads},{self.min_blocks}"
+
+
+#: Placeholder meaning "no explicit LaunchBounds": the backend default.
+DEFAULT_LAUNCH_BOUNDS = LaunchBounds(max_threads=256, min_blocks=1, explicit=False)
+
+
+@dataclass(frozen=True)
+class RangePolicy:
+    """1-D iteration range ``[begin, end)`` with an optional work tag."""
+
+    begin: int
+    end: int
+    tag: object | None = None
+    launch_bounds: LaunchBounds = DEFAULT_LAUNCH_BOUNDS
+
+    def __post_init__(self):
+        if self.end < self.begin:
+            raise ValueError(f"empty-inverted range [{self.begin}, {self.end})")
+
+    @property
+    def extent(self) -> int:
+        return self.end - self.begin
+
+    def indices(self):
+        return range(self.begin, self.end)
+
+
+@dataclass(frozen=True)
+class MDRangePolicy:
+    """Multidimensional iteration range (lower/upper corner per rank)."""
+
+    lower: tuple[int, ...]
+    upper: tuple[int, ...]
+    tag: object | None = None
+    launch_bounds: LaunchBounds = DEFAULT_LAUNCH_BOUNDS
+
+    def __post_init__(self):
+        if len(self.lower) != len(self.upper):
+            raise ValueError("MDRangePolicy rank mismatch")
+        if any(u < l for l, u in zip(self.lower, self.upper)):
+            raise ValueError("MDRangePolicy has an inverted extent")
+
+    @property
+    def extent(self) -> int:
+        n = 1
+        for l, u in zip(self.lower, self.upper):
+            n *= u - l
+        return n
+
+    def indices(self):
+        import itertools
+
+        ranges = [range(l, u) for l, u in zip(self.lower, self.upper)]
+        return itertools.product(*ranges)
+
+
+@dataclass(frozen=True)
+class TeamPolicy:
+    """League of teams (coarse analogue; team loop bodies get a handle)."""
+
+    league_size: int
+    team_size: int = 1
+    tag: object | None = None
+    launch_bounds: LaunchBounds = DEFAULT_LAUNCH_BOUNDS
+
+    def __post_init__(self):
+        if self.league_size < 0 or self.team_size <= 0:
+            raise ValueError("invalid TeamPolicy sizes")
+
+    @property
+    def extent(self) -> int:
+        return self.league_size

@@ -1,0 +1,47 @@
+"""Meshing substrate: MPAS-style planar meshes and extruded 3D FE meshes.
+
+MALI builds its 3D mesh by extruding a planar mesh through the ice
+thickness (20 layers in the paper's Antarctica test).  This package
+provides:
+
+* :mod:`~repro.mesh.planar` -- structured quadrilateral footprints with
+  ice masks (the paper's test uses quadrilateral elements).
+* :mod:`~repro.mesh.voronoi` -- MPAS-style quasi-uniform Voronoi meshes
+  and their dual Delaunay triangulations (triangle footprints).
+* :mod:`~repro.mesh.geometry` -- synthetic Antarctica-like ice-sheet
+  geometry (Vialov dome + perturbed bed), substituting for the paper's
+  16-km Antarctica dataset.
+* :mod:`~repro.mesh.extrude` -- extrusion of a footprint into layered
+  hexahedral or prismatic elements.
+* :mod:`~repro.mesh.partition` -- domain decomposition with halo maps.
+"""
+
+from repro.mesh.planar import Footprint2D, quad_footprint, masked_quad_footprint
+from repro.mesh.geometry import (
+    IceGeometry,
+    vialov_profile,
+    antarctica_geometry,
+    greenland_geometry,
+)
+from repro.mesh.voronoi import VoronoiMesh, mpas_voronoi_mesh, triangle_footprint_from_voronoi
+from repro.mesh.extrude import ExtrudedMesh, extrude_footprint, uniform_sigma_levels
+from repro.mesh.partition import Partition, partition_footprint, HaloExchange
+
+__all__ = [
+    "Footprint2D",
+    "quad_footprint",
+    "masked_quad_footprint",
+    "IceGeometry",
+    "vialov_profile",
+    "antarctica_geometry",
+    "greenland_geometry",
+    "VoronoiMesh",
+    "mpas_voronoi_mesh",
+    "triangle_footprint_from_voronoi",
+    "ExtrudedMesh",
+    "extrude_footprint",
+    "uniform_sigma_levels",
+    "Partition",
+    "partition_footprint",
+    "HaloExchange",
+]

@@ -1,0 +1,170 @@
+"""Extrusion of planar footprints into layered 3D finite-element meshes.
+
+MALI extrudes the planar mesh through the ice thickness: every footprint
+node becomes a column of ``nlayers + 1`` nodes between the ice base and
+the upper surface, and every footprint element becomes a column of
+``nlayers`` hexahedra (quad footprint) or prisms (triangle footprint).
+
+Numbering is column-major, which keeps vertical columns contiguous --
+exactly the property the matrix-dependent semicoarsening multigrid
+exploits:
+
+* 3D node id of footprint node ``n`` at level ``l``: ``n * (nz+1) + l``;
+* 3D element id of footprint element ``e`` at layer ``k``: ``e * nz + k``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mesh.geometry import IceGeometry
+from repro.mesh.planar import Footprint2D
+
+__all__ = ["ExtrudedMesh", "extrude_footprint", "uniform_sigma_levels"]
+
+
+def uniform_sigma_levels(nlayers: int) -> np.ndarray:
+    """Uniform terrain-following levels from base (0) to surface (1)."""
+    if nlayers <= 0:
+        raise ValueError("extrusion requires at least one layer")
+    return np.linspace(0.0, 1.0, nlayers + 1)
+
+
+@dataclass
+class ExtrudedMesh:
+    """Layered 3D mesh extruded from a planar footprint."""
+
+    footprint: Footprint2D
+    sigma: np.ndarray
+    coords: np.ndarray  # (num_nodes, 3)
+    elems: np.ndarray  # (num_elems, 8) hex8 or (num_elems, 6) wedge6
+    elem_type: str  # "hex8" | "wedge6"
+    thickness2d: np.ndarray  # (nn2,)
+    surface2d: np.ndarray  # (nn2,)
+    bed2d: np.ndarray  # (nn2,)
+
+    @property
+    def nlayers(self) -> int:
+        return len(self.sigma) - 1
+
+    @property
+    def levels(self) -> int:
+        return len(self.sigma)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.coords)
+
+    @property
+    def num_elems(self) -> int:
+        return len(self.elems)
+
+    @property
+    def nodes_per_elem(self) -> int:
+        return self.elems.shape[1]
+
+    # -- numbering maps -------------------------------------------------
+    def node_id(self, n2d, level):
+        """3D node id(s) for footprint node(s) at a level."""
+        return np.asarray(n2d) * self.levels + level
+
+    def elem_id(self, e2d, layer):
+        return np.asarray(e2d) * self.nlayers + layer
+
+    def elem_layer(self, e3d):
+        return np.asarray(e3d) % self.nlayers
+
+    def elem_column(self, e3d):
+        return np.asarray(e3d) // self.nlayers
+
+    def column_nodes(self, n2d: int) -> np.ndarray:
+        """All 3D node ids of one vertical column, base to surface."""
+        return np.arange(self.levels) + n2d * self.levels
+
+    # -- distinguished sets ---------------------------------------------
+    def basal_elems(self) -> np.ndarray:
+        return np.arange(self.footprint.num_elems) * self.nlayers
+
+    def surface_elems(self) -> np.ndarray:
+        return np.arange(self.footprint.num_elems) * self.nlayers + (self.nlayers - 1)
+
+    def basal_nodes(self) -> np.ndarray:
+        return np.arange(self.footprint.num_nodes) * self.levels
+
+    def surface_nodes(self) -> np.ndarray:
+        return np.arange(self.footprint.num_nodes) * self.levels + self.nlayers
+
+    def lateral_nodes(self) -> np.ndarray:
+        """3D node ids on the lateral (margin) boundary, all levels."""
+        b2 = self.footprint.boundary_nodes
+        return (b2[:, None] * self.levels + np.arange(self.levels)[None, :]).ravel()
+
+    def basal_face_nodes(self) -> np.ndarray:
+        """Bottom-face node ids per basal element, footprint order."""
+        k = self.footprint.nodes_per_elem
+        return self.elems[self.basal_elems()][:, :k]
+
+    def validate(self) -> None:
+        """Raise on non-positive element volumes (vertical degeneracy)."""
+        z = self.coords[:, 2][self.elems]
+        k = self.footprint.nodes_per_elem
+        dz = z[:, k:] - z[:, :k]
+        if np.any(dz <= 0.0):
+            raise ValueError("extruded mesh has non-positive layer thickness")
+
+
+def extrude_footprint(
+    footprint: Footprint2D,
+    geometry: IceGeometry,
+    nlayers: int,
+    sigma: np.ndarray | None = None,
+    min_thickness: float = 10.0,
+) -> ExtrudedMesh:
+    """Extrude ``footprint`` through the geometry's ice thickness.
+
+    Thickness is clamped to ``min_thickness`` so margin columns stay
+    non-degenerate (MALI does the same with a minimum-thickness rule).
+    """
+    if sigma is None:
+        sigma = uniform_sigma_levels(nlayers)
+    sigma = np.asarray(sigma, dtype=np.float64)
+    if len(sigma) != nlayers + 1 or sigma[0] != 0.0 or sigma[-1] != 1.0:
+        raise ValueError("sigma must run 0..1 with nlayers+1 entries")
+    if np.any(np.diff(sigma) <= 0.0):
+        raise ValueError("sigma levels must be strictly increasing")
+
+    x2, y2 = footprint.coords[:, 0], footprint.coords[:, 1]
+    h2 = np.maximum(np.asarray(geometry.thickness(x2, y2), dtype=np.float64), min_thickness)
+    s2 = np.asarray(geometry.surface(x2, y2), dtype=np.float64)
+    b2 = s2 - h2  # ice base (bed where grounded)
+
+    nn2 = footprint.num_nodes
+    levels = nlayers + 1
+    coords = np.empty((nn2 * levels, 3))
+    # column-major numbering: node (n2d, lev) -> n2d*levels + lev
+    coords[:, 0] = np.repeat(x2, levels)
+    coords[:, 1] = np.repeat(y2, levels)
+    coords[:, 2] = (b2[:, None] + sigma[None, :] * h2[:, None]).ravel()
+
+    k = footprint.nodes_per_elem
+    ne2 = footprint.num_elems
+    lay = np.arange(nlayers)
+    bottom = footprint.elems[:, None, :] * levels + lay[None, :, None]  # (ne2, nz, k)
+    top = bottom + 1
+    elems = np.concatenate([bottom, top], axis=2).reshape(ne2 * nlayers, 2 * k)
+
+    elem_type = "hex8" if footprint.elem_type == "quad4" else "wedge6"
+    mesh = ExtrudedMesh(
+        footprint=footprint,
+        sigma=sigma,
+        coords=coords,
+        elems=elems.astype(np.int64),
+        elem_type=elem_type,
+        thickness2d=h2,
+        surface2d=s2,
+        bed2d=b2,
+    )
+    mesh.validate()
+    return mesh

@@ -1,0 +1,121 @@
+"""Domain decomposition with halo maps (MPI-substrate, run in-process).
+
+MALI runs one MPI rank per GPU; the paper's evaluation is single-rank,
+but the library keeps the distributed-memory substrate so multi-rank
+experiments (and the tests that prove additive-scatter consistency) have
+something real to exercise.  Partitioning is recursive coordinate
+bisection over footprint elements; halos are the standard one-layer
+node-sharing ghosts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mesh.planar import Footprint2D
+
+__all__ = ["Partition", "partition_footprint", "HaloExchange"]
+
+
+def _rcb(centers: np.ndarray, ids: np.ndarray, nparts: int, out: np.ndarray, first: int) -> None:
+    """Recursive coordinate bisection: split the longer axis at the median."""
+    if nparts == 1:
+        out[ids] = first
+        return
+    ext = centers[ids].max(axis=0) - centers[ids].min(axis=0)
+    axis = int(np.argmax(ext))
+    order = ids[np.argsort(centers[ids, axis], kind="stable")]
+    left_parts = nparts // 2
+    cut = int(round(len(order) * left_parts / nparts))
+    _rcb(centers, order[:cut], left_parts, out, first)
+    _rcb(centers, order[cut:], nparts - left_parts, out, first + left_parts)
+
+
+@dataclass
+class Partition:
+    """Element ownership plus derived node ownership and halo sets."""
+
+    footprint: Footprint2D
+    nparts: int
+    elem_part: np.ndarray  # (ne,) owning part per element
+    node_part: np.ndarray  # (nn,) owning part per node (min adjacent part)
+
+    def owned_elems(self, part: int) -> np.ndarray:
+        return np.flatnonzero(self.elem_part == part)
+
+    def owned_nodes(self, part: int) -> np.ndarray:
+        return np.flatnonzero(self.node_part == part)
+
+    def local_nodes(self, part: int) -> np.ndarray:
+        """Owned + ghost nodes: every node touched by an owned element."""
+        return np.unique(self.footprint.elems[self.owned_elems(part)])
+
+    def ghost_nodes(self, part: int) -> np.ndarray:
+        local = self.local_nodes(part)
+        return local[self.node_part[local] != part]
+
+    def balance(self) -> float:
+        """max/avg element count over parts (1.0 = perfect balance)."""
+        counts = np.bincount(self.elem_part, minlength=self.nparts)
+        return float(counts.max() / max(1.0, counts.mean()))
+
+
+def partition_footprint(footprint: Footprint2D, nparts: int) -> Partition:
+    """Partition footprint elements into ``nparts`` via coordinate bisection."""
+    if nparts <= 0:
+        raise ValueError("nparts must be positive")
+    ne = footprint.num_elems
+    if nparts > ne:
+        raise ValueError(f"cannot split {ne} elements into {nparts} parts")
+    elem_part = np.empty(ne, dtype=np.int64)
+    _rcb(footprint.elem_centers(), np.arange(ne), nparts, elem_part, 0)
+
+    # node owner: the smallest part id among elements touching the node
+    nn = footprint.num_nodes
+    node_part = np.full(nn, np.iinfo(np.int64).max, dtype=np.int64)
+    for k in range(footprint.nodes_per_elem):
+        np.minimum.at(node_part, footprint.elems[:, k], elem_part)
+    return Partition(footprint, nparts, elem_part, node_part)
+
+
+class HaloExchange:
+    """In-process halo exchange over a :class:`Partition`.
+
+    Mirrors the two MPI patterns a FE assembly needs:
+
+    * :meth:`scatter_add` -- additive reduction of per-part contributions
+      into a global nodal array (ghost contributions folded into owners),
+    * :meth:`gather` -- refresh of each part's local (owned + ghost)
+      nodal values from the global array.
+    """
+
+    def __init__(self, partition: Partition):
+        self.partition = partition
+        self._local = [partition.local_nodes(p) for p in range(partition.nparts)]
+
+    def local_nodes(self, part: int) -> np.ndarray:
+        return self._local[part]
+
+    def gather(self, part: int, global_field: np.ndarray) -> np.ndarray:
+        """Local copy (owned + ghosts) of a global nodal field."""
+        return np.array(global_field[self._local[part]])
+
+    def scatter_add(self, contributions: list[np.ndarray]) -> np.ndarray:
+        """Sum per-part local contributions into a global nodal array.
+
+        ``contributions[p]`` must align with ``local_nodes(p)``; overlap
+        (ghost) entries add, exactly like MPI ``Export`` with ADD mode.
+        """
+        if len(contributions) != self.partition.nparts:
+            raise ValueError("one contribution array per part required")
+        nn = self.partition.footprint.num_nodes
+        first = np.asarray(contributions[0])
+        out = np.zeros((nn,) + first.shape[1:], dtype=np.float64)
+        for p, contrib in enumerate(contributions):
+            contrib = np.asarray(contrib)
+            if len(contrib) != len(self._local[p]):
+                raise ValueError(f"part {p}: contribution length mismatch")
+            np.add.at(out, self._local[p], contrib)
+        return out

@@ -1,0 +1,158 @@
+"""Planar footprint meshes (quadrilateral, optionally ice-masked).
+
+The paper's Antarctica test uses a planar mesh with quadrilateral
+elements; the footprint here is a structured grid restricted to cells
+where ice is present.  Node and element numbering is compacted so
+downstream code never sees inactive cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Footprint2D", "quad_footprint", "masked_quad_footprint"]
+
+
+@dataclass
+class Footprint2D:
+    """A planar FE footprint: nodes, elements and boundary topology.
+
+    Attributes
+    ----------
+    coords:
+        ``(nnodes, 2)`` node coordinates in meters.
+    elems:
+        ``(nelems, k)`` node ids per element, counterclockwise;
+        ``k == 4`` for quads, ``k == 3`` for triangles.
+    elem_type:
+        ``"quad4"`` or ``"tri3"``.
+    boundary_edges:
+        ``(nbedges, 2)`` node-id pairs on the domain boundary.
+    boundary_nodes:
+        Sorted unique node ids on the boundary.
+    """
+
+    coords: np.ndarray
+    elems: np.ndarray
+    elem_type: str
+    boundary_edges: np.ndarray
+    boundary_nodes: np.ndarray = field(default=None)
+
+    def __post_init__(self):
+        self.coords = np.ascontiguousarray(self.coords, dtype=np.float64)
+        self.elems = np.ascontiguousarray(self.elems, dtype=np.int64)
+        if self.elem_type not in ("quad4", "tri3"):
+            raise ValueError(f"unknown footprint element type {self.elem_type!r}")
+        k = 4 if self.elem_type == "quad4" else 3
+        if self.elems.ndim != 2 or self.elems.shape[1] != k:
+            raise ValueError(f"{self.elem_type} footprint requires (n, {k}) connectivity")
+        if self.elems.size and self.elems.max() >= len(self.coords):
+            raise ValueError("element connectivity references missing nodes")
+        if self.boundary_nodes is None:
+            self.boundary_nodes = (
+                np.unique(self.boundary_edges) if self.boundary_edges.size else np.empty(0, np.int64)
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self.coords)
+
+    @property
+    def num_elems(self) -> int:
+        return len(self.elems)
+
+    @property
+    def nodes_per_elem(self) -> int:
+        return self.elems.shape[1]
+
+    def elem_centers(self) -> np.ndarray:
+        return self.coords[self.elems].mean(axis=1)
+
+    def edges(self) -> np.ndarray:
+        """All unique (sorted) edges of the footprint, shape ``(ne, 2)``."""
+        k = self.nodes_per_elem
+        pairs = np.concatenate(
+            [self.elems[:, [i, (i + 1) % k]] for i in range(k)], axis=0
+        )
+        pairs.sort(axis=1)
+        return np.unique(pairs, axis=0)
+
+    def euler_characteristic(self) -> int:
+        """V - E + F; equals 1 for a simply-connected planar mesh."""
+        return self.num_nodes - len(self.edges()) + self.num_elems
+
+    def elem_areas(self) -> np.ndarray:
+        """Signed polygon area per element (shoelace; > 0 when CCW)."""
+        p = self.coords[self.elems]  # (ne, k, 2)
+        x, y = p[..., 0], p[..., 1]
+        xn, yn = np.roll(x, -1, axis=1), np.roll(y, -1, axis=1)
+        return 0.5 * np.sum(x * yn - xn * y, axis=1)
+
+    def validate(self) -> None:
+        """Raise on inverted/degenerate elements."""
+        areas = self.elem_areas()
+        if np.any(areas <= 0.0):
+            bad = int(np.argmin(areas))
+            raise ValueError(
+                f"footprint element {bad} is degenerate or clockwise (area={areas[bad]:.3e})"
+            )
+
+
+def _boundary_edges_from_elems(elems: np.ndarray, k: int) -> np.ndarray:
+    """Edges that belong to exactly one element (the domain boundary)."""
+    pairs = np.concatenate([elems[:, [i, (i + 1) % k]] for i in range(k)], axis=0)
+    s = np.sort(pairs, axis=1)
+    _, inv, counts = np.unique(s, axis=0, return_inverse=True, return_counts=True)
+    return pairs[counts[inv] == 1]
+
+
+def quad_footprint(nx: int, ny: int, lx: float, ly: float, x0: float = 0.0, y0: float = 0.0) -> Footprint2D:
+    """Structured ``nx`` x ``ny`` quad grid over ``[x0, x0+lx] x [y0, y0+ly]``."""
+    if nx <= 0 or ny <= 0:
+        raise ValueError("grid extents must be positive")
+    xs = np.linspace(x0, x0 + lx, nx + 1)
+    ys = np.linspace(y0, y0 + ly, ny + 1)
+    X, Y = np.meshgrid(xs, ys, indexing="ij")
+    coords = np.stack([X.ravel(), Y.ravel()], axis=1)
+
+    i, j = np.meshgrid(np.arange(nx), np.arange(ny), indexing="ij")
+    n00 = (i * (ny + 1) + j).ravel()
+    n10 = ((i + 1) * (ny + 1) + j).ravel()
+    n11 = ((i + 1) * (ny + 1) + j + 1).ravel()
+    n01 = (i * (ny + 1) + j + 1).ravel()
+    elems = np.stack([n00, n10, n11, n01], axis=1)
+
+    bedges = _boundary_edges_from_elems(elems, 4)
+    return Footprint2D(coords, elems, "quad4", bedges)
+
+
+def masked_quad_footprint(
+    nx: int,
+    ny: int,
+    lx: float,
+    ly: float,
+    mask_fn,
+    x0: float = 0.0,
+    y0: float = 0.0,
+) -> Footprint2D:
+    """Structured quad grid keeping only cells whose center satisfies ``mask_fn``.
+
+    ``mask_fn(x, y)`` is evaluated vectorized on cell centers and must
+    return a boolean array.  Node numbering is compacted to active nodes.
+    """
+    full = quad_footprint(nx, ny, lx, ly, x0, y0)
+    centers = full.elem_centers()
+    keep = np.asarray(mask_fn(centers[:, 0], centers[:, 1]), dtype=bool)
+    if not keep.any():
+        raise ValueError("ice mask removed every footprint cell")
+    elems = full.elems[keep]
+    used = np.unique(elems)
+    remap = -np.ones(full.num_nodes, dtype=np.int64)
+    remap[used] = np.arange(len(used))
+    elems = remap[elems]
+    coords = full.coords[used]
+    bedges = _boundary_edges_from_elems(elems, 4)
+    return Footprint2D(coords, elems, "quad4", bedges)

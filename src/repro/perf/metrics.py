@@ -1,0 +1,58 @@
+"""Alternative portability efficiencies from the related work.
+
+The paper's Section II cites portability studies built on other
+efficiency definitions; implementing them lets the benches compare the
+paper's time-oriented efficiencies against:
+
+* **architectural (roofline) efficiency** -- attained performance over
+  the roofline at the kernel's arithmetic intensity (Kwack et al.,
+  Antepara et al.);
+* **application efficiency** -- best observed performance across
+  implementations on the platform over this implementation's
+  (Pennycook's original formulation);
+* **fraction of theoretical arithmetic intensity** -- measured AI over
+  the AI implied by minimal data movement (Antepara et al. 2023).
+"""
+
+from __future__ import annotations
+
+from repro.gpusim.simulator import KernelProfile
+from repro.gpusim.specs import GPUSpec
+from repro.perf.roofline import RooflineModel, RooflinePoint
+from repro.perf.theoretical import TheoreticalMovement
+
+__all__ = [
+    "architectural_efficiency",
+    "application_efficiency",
+    "ai_fraction",
+]
+
+
+def architectural_efficiency(spec: GPUSpec, profile: KernelProfile) -> float:
+    """Fraction of the roofline attained at the kernel's AI."""
+    model = RooflineModel(spec)
+    pt = RooflinePoint(profile.variant_key, profile.arithmetic_intensity, profile.gflops_per_s)
+    return min(1.0, model.fraction_of_roofline(pt))
+
+
+def application_efficiency(profile: KernelProfile, best_time_s: float) -> float:
+    """Best implementation's time over this implementation's time.
+
+    ``best_time_s`` is the fastest observed time for the same problem on
+    the same platform (usually the optimized kernel's).
+    """
+    if best_time_s <= 0 or profile.time_s <= 0:
+        raise ValueError("times must be positive")
+    return min(1.0, best_time_s / profile.time_s)
+
+
+def ai_fraction(profile: KernelProfile, theoretical: TheoreticalMovement) -> float:
+    """Measured arithmetic intensity over the theoretical maximum AI.
+
+    The theoretical AI divides the kernel's flops by its minimum data
+    movement; an implementation moving extra bytes shows a lower AI.
+    Identical to e_DM for fixed flops -- included because the cited
+    prior work reports portability in these terms.
+    """
+    ai_theory = profile.flops / theoretical.total_bytes
+    return min(1.0, profile.arithmetic_intensity / ai_theory)

@@ -1,0 +1,122 @@
+"""Rendering: text tables, CSV emitters, and ASCII log-log scatter plots.
+
+The benchmark harness prints the same rows/series the paper reports;
+with no plotting stack available offline, figures are emitted as CSV
+data series plus an ASCII rendering for quick inspection.
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+from pathlib import Path
+
+__all__ = ["format_table", "ascii_scatter", "write_csv"]
+
+
+def format_table(headers: list[str], rows: list[list], title: str | None = None) -> str:
+    """Fixed-width text table (right-aligned numerics)."""
+    srows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in srows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in srows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(c) -> str:
+    if isinstance(c, float):
+        if c == 0.0:
+            return "0"
+        if abs(c) >= 1.0e4 or abs(c) < 1.0e-3:
+            return f"{c:.2e}"
+        return f"{c:.3g}"
+    return str(c)
+
+
+def ascii_scatter(
+    points: list[tuple[float, float, str]],
+    width: int = 64,
+    height: int = 20,
+    logx: bool = True,
+    logy: bool = True,
+    xlabel: str = "x",
+    ylabel: str = "y",
+    lines: list[tuple[float, float, float, float, str]] | None = None,
+) -> str:
+    """ASCII scatter plot; each point is (x, y, single-char marker).
+
+    ``lines`` draws straight segments ((x0, y0, x1, y1, char)) in the
+    transformed space -- used for roofline ceilings and bound diagonals.
+    """
+    if not points:
+        raise ValueError("nothing to plot")
+
+    def tx(v):
+        return math.log10(v) if logx else v
+
+    def ty(v):
+        return math.log10(v) if logy else v
+
+    xs = [tx(p[0]) for p in points]
+    ys = [ty(p[1]) for p in points]
+    if lines:
+        xs += [tx(l[0]) for l in lines] + [tx(l[2]) for l in lines]
+        ys += [ty(l[1]) for l in lines] + [ty(l[3]) for l in lines]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    if x1 == x0:
+        x1 = x0 + 1.0
+    if y1 == y0:
+        y1 = y0 + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def put(x, y, ch):
+        cx = int((tx(x) - x0) / (x1 - x0) * (width - 1))
+        cy = int((ty(y) - y0) / (y1 - y0) * (height - 1))
+        if 0 <= cx < width and 0 <= cy < height:
+            grid[height - 1 - cy][cx] = ch
+
+    if lines:
+        for lx0, ly0, lx1, ly1, ch in lines:
+            n = max(width, 2)
+            for k in range(n):
+                t = k / (n - 1)
+                gx = (1 - t) * tx(lx0) + t * tx(lx1)
+                gy = (1 - t) * ty(ly0) + t * ty(ly1)
+                cx = int((gx - x0) / (x1 - x0) * (width - 1))
+                cy = int((gy - y0) / (y1 - y0) * (height - 1))
+                if 0 <= cx < width and 0 <= cy < height:
+                    if grid[height - 1 - cy][cx] == " ":
+                        grid[height - 1 - cy][cx] = ch
+
+    for x, y, ch in points:
+        put(x, y, ch)
+
+    out = ["".join(r) for r in grid]
+    out.append("-" * width)
+    out.append(f"x: {xlabel}  [{10**x0:.3g} .. {10**x1:.3g}]" if logx else f"x: {xlabel}")
+    out.append(f"y: {ylabel}  [{10**y0:.3g} .. {10**y1:.3g}]" if logy else f"y: {ylabel}")
+    return "\n".join(out)
+
+
+def write_csv(path, headers: list[str], rows: list[list]) -> Path:
+    """Write a CSV artifact (creates parent directories)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as f:
+        w = csv.writer(f)
+        w.writerow(headers)
+        w.writerows(rows)
+    return path

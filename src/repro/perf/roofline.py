@@ -1,0 +1,72 @@
+"""The Roofline model (Williams, Waterman & Patterson) -- paper Fig. 3.
+
+Kernels are placed at (arithmetic intensity, attained GFLOP/s) against
+the two ceilings of each GPU: peak HBM bandwidth (the diagonal) and
+peak FP64 throughput (the flat roof).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpusim.specs import GPUSpec
+
+__all__ = ["RooflinePoint", "RooflineModel"]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel measurement in roofline coordinates."""
+
+    label: str
+    arithmetic_intensity: float  # flops / byte
+    gflops: float
+
+    def __post_init__(self):
+        if self.arithmetic_intensity <= 0 or self.gflops <= 0:
+            raise ValueError("roofline coordinates must be positive")
+
+
+class RooflineModel:
+    """Roofline ceilings and efficiency queries for one GPU."""
+
+    def __init__(self, spec: GPUSpec):
+        self.spec = spec
+
+    @property
+    def ridge_point(self) -> float:
+        """AI at which the kernel transitions memory- to compute-bound."""
+        return self.spec.fp64_flops / self.spec.hbm_bytes_per_s
+
+    def attainable_gflops(self, ai) -> np.ndarray:
+        """The roofline itself: min(peak, BW * AI), in GFLOP/s."""
+        ai = np.asarray(ai, dtype=np.float64)
+        return np.minimum(self.spec.fp64_flops, self.spec.hbm_bytes_per_s * ai) / 1.0e9
+
+    def fraction_of_roofline(self, point: RooflinePoint) -> float:
+        """Attained performance over the roofline at the point's AI."""
+        return point.gflops / float(self.attainable_gflops(point.arithmetic_intensity))
+
+    def bandwidth_fraction(self, point: RooflinePoint) -> float:
+        """Implied HBM bandwidth over peak (memory-bound reading)."""
+        implied_bw = point.gflops * 1.0e9 / point.arithmetic_intensity
+        return implied_bw / self.spec.hbm_bytes_per_s
+
+    def is_memory_bound(self, point: RooflinePoint) -> bool:
+        return point.arithmetic_intensity < self.ridge_point
+
+    def ceiling_series(self, ai_min: float = 2.0 ** -4, ai_max: float = 2.0 ** 8, n: int = 64):
+        """(AI, GFLOP/s) samples of the roofline for plotting/CSV."""
+        ai = np.logspace(np.log10(ai_min), np.log10(ai_max), n)
+        return ai, self.attainable_gflops(ai)
+
+    @staticmethod
+    def point_from_profile(profile, label: str | None = None) -> RooflinePoint:
+        """Build a point from a :class:`~repro.gpusim.simulator.KernelProfile`."""
+        return RooflinePoint(
+            label=label or f"{profile.variant_key}@{profile.gpu}",
+            arithmetic_intensity=profile.arithmetic_intensity,
+            gflops=profile.gflops_per_s,
+        )

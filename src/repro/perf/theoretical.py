@@ -1,0 +1,82 @@
+"""Theoretical minimum data movement (the "application wall" of Fig. 4).
+
+"No degree of optimization for a given GPU kernel would ever allow that
+kernel to move less data than this theoretical minimum": every input
+array element the kernel touches must cross HBM once, and every output
+element must be written once.  We derive it from the recorded thread
+program's unique read/written slots -- i.e., directly from the sizes of
+the multidimensional arrays the kernel operates on, exactly as the
+paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.trace import ThreadProgram, record_kernel_trace
+
+__all__ = ["TheoreticalMovement", "theoretical_minimum"]
+
+_BYTES_PER_COMPONENT = 8  # double precision
+
+
+@dataclass(frozen=True)
+class TheoreticalMovement:
+    """Minimum-bytes inventory for one kernel on one problem size."""
+
+    variant_key: str
+    num_cells: int
+    read_bytes: float
+    write_bytes: float
+    per_view_bytes: dict
+
+    @property
+    def total_bytes(self) -> float:
+        return self.read_bytes + self.write_bytes
+
+    def min_time_s(self, peak_bandwidth: float) -> float:
+        """The architectural bound: minimum bytes at peak HBM bandwidth."""
+        if peak_bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        return self.total_bytes / peak_bandwidth
+
+
+def theoretical_minimum(
+    program: ThreadProgram | str,
+    num_cells: int,
+    num_nodes: int = 8,
+    num_qps: int = 8,
+) -> TheoreticalMovement:
+    """Theoretical minimum HBM bytes for a kernel over ``num_cells``.
+
+    Accepts a recorded :class:`ThreadProgram` or a variant key.  Slots
+    read are charged one 8-byte read per cell; slots written one write;
+    a slot that is both read and written (none in these kernels' minimal
+    form) would be charged both.
+    """
+    if isinstance(program, str):
+        program = record_kernel_trace(program, num_nodes=num_nodes, num_qps=num_qps)
+    if num_cells <= 0:
+        raise ValueError("num_cells must be positive")
+
+    # The minimum is a property of the *kernel*, not the implementation:
+    # each input element crosses HBM once, each output element once.  A
+    # baseline implementation's extra read-modify-writes of the output
+    # view must not inflate the bound, so classification is by view role.
+    output_views = set(program.output_views)
+    slots = program.unique_slots()
+    reads = {s for s in slots if s.view not in output_views}
+    writes = {s for s in slots if s.view in output_views}
+    per_view: dict[str, float] = {}
+    for s in reads:
+        per_view[s.view] = per_view.get(s.view, 0.0) + _BYTES_PER_COMPONENT * num_cells
+    for s in writes:
+        per_view[s.view] = per_view.get(s.view, 0.0) + _BYTES_PER_COMPONENT * num_cells
+
+    return TheoreticalMovement(
+        variant_key=program.variant_key,
+        num_cells=num_cells,
+        read_bytes=float(len(reads) * _BYTES_PER_COMPONENT * num_cells),
+        write_bytes=float(len(writes) * _BYTES_PER_COMPONENT * num_cells),
+        per_view_bytes=per_view,
+    )

@@ -1,0 +1,70 @@
+"""Glen's-law effective viscosity for the first-order Stokes model.
+
+The first-order (Blatter-Pattyn) approximation uses the effective strain
+rate
+
+``e_e^2 = u_x^2 + v_y^2 + u_x v_y + 1/4 (u_y + v_x)^2 + 1/4 u_z^2 + 1/4 v_z^2``
+
+and the viscosity
+
+``mu = 1/2 A^(-1/n) (e_e^2 + reg)^((1-n)/(2n))``
+
+(Glen's flow law; Cuffey & Paterson 2010).  All functions dispatch on
+plain arrays and Fad values so the same code serves Residual and
+Jacobian evaluations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff import ops
+from repro.constants import GLEN_A_DEFAULT, GLEN_N, STRAIN_RATE_REG
+
+__all__ = ["effective_strain_rate_squared", "glen_viscosity", "flow_factor_arrhenius"]
+
+
+def effective_strain_rate_squared(ux, uy, uz, vx, vy, vz):
+    """FO effective strain rate squared from velocity-gradient components."""
+    shear = uy + vx
+    return (
+        ux * ux
+        + vy * vy
+        + ux * vy
+        + 0.25 * (shear * shear)
+        + 0.25 * (uz * uz)
+        + 0.25 * (vz * vz)
+    )
+
+
+def glen_viscosity(eps_sq, flow_factor=GLEN_A_DEFAULT, n: float = GLEN_N, reg: float = STRAIN_RATE_REG):
+    """Effective viscosity ``mu`` [kPa yr] from ``eps_sq`` [yr^-2].
+
+    ``flow_factor`` may be a scalar or per-point array of Glen's ``A`` in
+    kPa^-n yr^-1.  The regularization keeps ``mu`` finite (and the
+    Jacobian well-defined) at zero strain rate.
+    """
+    if np.any(np.asarray(flow_factor) <= 0.0):
+        raise ValueError("Glen flow factor must be positive")
+    exponent = (1.0 - n) / (2.0 * n)
+    a_term = np.asarray(flow_factor, dtype=np.float64) ** (-1.0 / n)
+    return 0.5 * a_term * ops.power(eps_sq + reg, exponent)
+
+
+def flow_factor_arrhenius(temperature_k) -> np.ndarray:
+    """Temperature-dependent Glen ``A`` [kPa^-3 yr^-1] (Arrhenius law).
+
+    Uses the standard two-regime Paterson-Budd parameterization with the
+    cold/warm switch at 263.15 K, rescaled to this library's kPa/yr
+    units and normalized so that A(263 K) matches ``GLEN_A_DEFAULT``.
+    """
+    t = np.asarray(temperature_k, dtype=np.float64)
+    if np.any(t <= 0.0):
+        raise ValueError("temperature must be in Kelvin")
+    r_gas = 8.314  # J / (mol K)
+    q_cold, q_warm = 6.0e4, 13.9e4  # activation energies [J/mol]
+    t_switch = 263.15
+    q = np.where(t < t_switch, q_cold, q_warm)
+    # continuous at the switch; anchored to GLEN_A_DEFAULT at 263.15 K
+    a = GLEN_A_DEFAULT * np.exp(-q / r_gas * (1.0 / t - 1.0 / t_switch))
+    return a

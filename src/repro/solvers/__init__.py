@@ -1,0 +1,39 @@
+"""Nonlinear/linear solver substrate (the Trilinos analogue).
+
+MALI solves the discretized velocity equations with damped Newton; each
+Newton step solves the linear system with GMRES preconditioned by a
+matrix-dependent semicoarsening algebraic multigrid built for extruded
+meshes (Tuminaro et al. 2016).  This package implements that stack:
+
+* :mod:`~repro.solvers.gmres` -- restarted, right-preconditioned GMRES.
+* :mod:`~repro.solvers.smoothers` -- damped Jacobi, vertical-line (block)
+  Jacobi for extruded columns, ILU(0).
+* :mod:`~repro.solvers.multigrid` -- vertical semicoarsening followed by
+  horizontal aggregation AMG, applied as a V-cycle preconditioner.
+* :mod:`~repro.solvers.newton` -- damped Newton with backtracking.
+"""
+
+from repro.solvers.gmres import GmresResult, gmres
+from repro.solvers.smoothers import (
+    IdentityPreconditioner,
+    JacobiSmoother,
+    VerticalLineSmoother,
+    Ilu0Preconditioner,
+)
+from repro.solvers.multigrid import MgLevel, SemicoarseningMultigrid, ColumnCollapseMdsc, build_mdsc_amg
+from repro.solvers.newton import NewtonResult, newton_solve
+
+__all__ = [
+    "GmresResult",
+    "gmres",
+    "IdentityPreconditioner",
+    "JacobiSmoother",
+    "VerticalLineSmoother",
+    "Ilu0Preconditioner",
+    "MgLevel",
+    "SemicoarseningMultigrid",
+    "ColumnCollapseMdsc",
+    "build_mdsc_amg",
+    "NewtonResult",
+    "newton_solve",
+]

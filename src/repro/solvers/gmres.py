@@ -1,0 +1,136 @@
+"""Restarted GMRES with right preconditioning (Saad & Schultz).
+
+Arnoldi with modified Gram-Schmidt and Givens-rotation updates of the
+least-squares problem; right preconditioning keeps the monitored
+residual equal to the true residual of ``A x = b``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["GmresResult", "gmres"]
+
+
+@dataclass
+class GmresResult:
+    x: np.ndarray
+    converged: bool
+    iterations: int
+    residual_norms: list[float]
+
+    @property
+    def final_residual(self) -> float:
+        return self.residual_norms[-1]
+
+
+def _as_operator(A):
+    if callable(A):
+        return A
+    return A.matvec
+
+
+def gmres(
+    A,
+    b: np.ndarray,
+    x0: np.ndarray | None = None,
+    tol: float = 1.0e-6,
+    restart: int = 50,
+    maxiter: int = 500,
+    M=None,
+) -> GmresResult:
+    """Solve ``A x = b`` with restarted right-preconditioned GMRES.
+
+    Parameters
+    ----------
+    A:
+        Matrix with ``matvec`` or a callable ``x -> A @ x``.
+    M:
+        Right preconditioner with ``apply(r) -> ~A^-1 r`` (optional).
+    tol:
+        Relative residual tolerance ``||b - A x|| <= tol * ||b||``.
+    restart:
+        Krylov dimension per cycle.
+    maxiter:
+        Total iteration (matvec) budget across restarts.
+    """
+    matvec = _as_operator(A)
+    b = np.asarray(b, dtype=np.float64)
+    n = b.shape[0]
+    x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64)
+    precond = (lambda r: r) if M is None else M.apply
+
+    bnorm = np.linalg.norm(b)
+    if bnorm == 0.0:
+        return GmresResult(np.zeros(n), True, 0, [0.0])
+    target = tol * bnorm
+
+    r = b - matvec(x)
+    rnorm = np.linalg.norm(r)
+    norms = [float(rnorm)]
+    total_it = 0
+
+    while rnorm > target and total_it < maxiter:
+        m = min(restart, maxiter - total_it)
+        V = np.zeros((m + 1, n))
+        Z = np.zeros((m, n))  # preconditioned directions (flexible storage)
+        H = np.zeros((m + 1, m))
+        cs = np.zeros(m)
+        sn = np.zeros(m)
+        g = np.zeros(m + 1)
+        V[0] = r / rnorm
+        g[0] = rnorm
+
+        k_used = 0
+        for k in range(m):
+            Z[k] = precond(V[k])
+            w = matvec(Z[k])
+            # modified Gram-Schmidt
+            for i in range(k + 1):
+                H[i, k] = np.dot(w, V[i])
+                w -= H[i, k] * V[i]
+            H[k + 1, k] = np.linalg.norm(w)
+            if H[k + 1, k] > 1.0e-14 * max(1.0, abs(H[k, k])):
+                V[k + 1] = w / H[k + 1, k]
+
+            # apply stored Givens rotations to the new column
+            for i in range(k):
+                t = cs[i] * H[i, k] + sn[i] * H[i + 1, k]
+                H[i + 1, k] = -sn[i] * H[i, k] + cs[i] * H[i + 1, k]
+                H[i, k] = t
+            # new rotation to annihilate H[k+1, k]
+            denom = np.hypot(H[k, k], H[k + 1, k])
+            if denom == 0.0:
+                cs[k], sn[k] = 1.0, 0.0
+            else:
+                cs[k], sn[k] = H[k, k] / denom, H[k + 1, k] / denom
+            H[k, k] = denom
+            H[k + 1, k] = 0.0
+            g[k + 1] = -sn[k] * g[k]
+            g[k] = cs[k] * g[k]
+
+            total_it += 1
+            k_used = k + 1
+            rnorm = abs(g[k + 1])
+            norms.append(float(rnorm))
+            if rnorm <= target:
+                break
+            if H[k, k] == 0.0:  # breakdown: solution found in this subspace
+                break
+
+        # solve the small triangular system and update x
+        y = np.zeros(k_used)
+        for i in range(k_used - 1, -1, -1):
+            if H[i, i] == 0.0:  # exact breakdown (singular projection)
+                y[i] = 0.0
+                continue
+            y[i] = (g[i] - H[i, i + 1 : k_used] @ y[i + 1 : k_used]) / H[i, i]
+        x = x + Z[:k_used].T @ y
+
+        r = b - matvec(x)
+        rnorm = np.linalg.norm(r)
+        norms[-1] = float(rnorm)  # replace estimate with true residual
+
+    return GmresResult(x, bool(rnorm <= target), total_it, norms)

@@ -1,0 +1,157 @@
+"""Integration tests: the full Antarctica velocity solve (Section III-B).
+
+These exercise the entire stack end to end: synthetic geometry ->
+masked quad footprint -> 3-D extrusion -> evaluator DAG with the paper's
+kernels (SFad Jacobian) -> Newton + GMRES + MDSC preconditioning ->
+mean-solution regression at relative tolerance 1e-5.
+"""
+
+import numpy as np
+import pytest
+
+from repro.app import (
+    AntarcticaConfig,
+    AntarcticaTest,
+    VelocityConfig,
+    run_antarctica_test,
+)
+
+# coarse configuration: fast enough for CI, still runs 8 Newton steps
+COARSE = AntarcticaConfig(resolution_km=300.0, num_layers=5)
+
+
+@pytest.fixture(scope="module")
+def coarse_solution():
+    test = AntarcticaTest.build(COARSE)
+    sol = test.run()
+    return test, sol
+
+
+class TestAntarcticaSolve:
+    def test_mesh_structure(self, coarse_solution):
+        test, _ = coarse_solution
+        assert test.mesh.elem_type == "hex8"
+        assert test.mesh.nlayers == 5
+        assert test.mesh.num_elems == test.mesh.footprint.num_elems * 5
+
+    def test_newton_ran_eight_steps(self, coarse_solution):
+        _, sol = coarse_solution
+        assert sol.newton.iterations == 8
+
+    def test_residual_reduced_many_orders(self, coarse_solution):
+        _, sol = coarse_solution
+        norms = sol.newton.residual_norms
+        assert norms[-1] < 1.0e-4 * norms[0]
+
+    def test_all_linear_solves_converged(self, coarse_solution):
+        _, sol = coarse_solution
+        # linear iteration counts recorded per step, all under budget
+        assert len(sol.newton.linear_iterations) == 8
+        assert max(sol.newton.linear_iterations) < COARSE.velocity.gmres_maxiter
+
+    def test_velocities_physical(self, coarse_solution):
+        """Ice flows outward at glaciologically plausible speeds."""
+        test, sol = coarse_solution
+        assert 1.0 < sol.mean_velocity < 1000.0
+        assert sol.max_velocity < 1.0e4
+        # surface flows faster than the column average (shear profile)
+        assert sol.surface_mean_velocity > sol.mean_velocity
+
+    def test_flow_points_downslope(self, coarse_solution):
+        """Depth-averaged flow correlates with the outward radial direction."""
+        test, sol = coarse_solution
+        mesh = test.mesh
+        u = test.problem.dofmap.nodal_view(sol.u)
+        surf = mesh.surface_nodes()
+        xy = mesh.coords[surf, :2]
+        cx, cy = test.geometry.center
+        rad = xy - np.array([cx, cy])
+        rn = np.linalg.norm(rad, axis=1)
+        speeds = np.linalg.norm(u[surf], axis=1)
+        # fast ice flows radially outward from the main dome; slow nodes
+        # near the secondary (western) dome drain toward its own margin
+        keep = (rn > 1.0e5) & (speeds > 5.0)
+        assert keep.sum() > 20
+        cosang = np.sum(u[surf][keep] * rad[keep], axis=1) / (rn[keep] * speeds[keep])
+        assert np.mean(cosang > 0.0) > 0.9
+
+    def test_lateral_dirichlet_enforced(self, coarse_solution):
+        test, sol = coarse_solution
+        assert np.allclose(sol.u[test.problem.bc_dofs], 0.0, atol=1e-12)
+
+    def test_regression_against_reference(self, coarse_solution):
+        test, sol = coarse_solution
+        passed, ref = test.check(sol)
+        assert ref is not None, "reference value missing for the coarse config"
+        assert passed
+
+    def test_run_helper_passes(self):
+        sol = run_antarctica_test(COARSE)
+        assert sol.diagnostics["regression_passed"]
+
+
+class TestKernelImplEquivalence:
+    """Paper invariant: the optimizations do not change the physics."""
+
+    def test_baseline_matches_optimized_solution(self):
+        sols = {}
+        for impl in ("baseline", "optimized"):
+            cfg = AntarcticaConfig(
+                resolution_km=300.0, num_layers=5, velocity=VelocityConfig(kernel_impl=impl)
+            )
+            sols[impl] = AntarcticaTest.build(cfg).run()
+        rel = abs(sols["baseline"].mean_velocity - sols["optimized"].mean_velocity) / abs(
+            sols["optimized"].mean_velocity
+        )
+        assert rel < 1.0e-10
+
+    def test_baseline_reference_stored(self):
+        cfg = AntarcticaConfig(
+            resolution_km=300.0, num_layers=5, velocity=VelocityConfig(kernel_impl="baseline")
+        )
+        test = AntarcticaTest.build(cfg)
+        assert test.reference_value() is not None
+
+
+class TestJacobianConsistency:
+    """The assembled SFad Jacobian matches finite differences of F."""
+
+    def test_jacobian_vs_fd_on_random_directions(self):
+        test = AntarcticaTest.build(AntarcticaConfig(resolution_km=400.0, num_layers=3))
+        p = test.problem
+        rng = np.random.default_rng(0)
+        u = rng.normal(size=p.dofmap.num_dofs) * 10.0
+        u[p.bc_dofs] = 0.0
+        F = p.residual(u)
+        A = p.jacobian(u)
+        for _ in range(3):
+            v = rng.normal(size=len(u))
+            eps = 1.0e-6 * max(1.0, np.linalg.norm(u)) / np.linalg.norm(v)
+            fd = (p.residual(u + eps * v) - p.residual(u - eps * v)) / (2 * eps)
+            ad = A.matvec(v)
+            denom = np.linalg.norm(fd) + 1e-30
+            assert np.linalg.norm(ad - fd) / denom < 2.0e-5
+
+
+class TestPreconditionerOptions:
+    def test_vline_and_mdsc_give_same_solution(self):
+        base = None
+        for precond in ("mdsc", "vline"):
+            cfg = AntarcticaConfig(
+                resolution_km=350.0,
+                num_layers=4,
+                velocity=VelocityConfig(preconditioner=precond),
+            )
+            sol = AntarcticaTest.build(cfg).run()
+            if base is None:
+                base = sol.mean_velocity
+            else:
+                assert sol.mean_velocity == pytest.approx(base, rel=1e-6)
+
+    def test_invalid_options_rejected(self):
+        with pytest.raises(ValueError):
+            VelocityConfig(preconditioner="ilu7")
+        with pytest.raises(ValueError):
+            VelocityConfig(kernel_impl="fastest")
+        with pytest.raises(ValueError):
+            AntarcticaConfig(resolution_km=-1.0)

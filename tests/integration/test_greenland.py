@@ -1,0 +1,65 @@
+"""Integration test: the solver stack on a Greenland-like ice sheet.
+
+MALI's other flagship configuration (Tezaur et al. 2015 validate both
+Greenland and Antarctica).  Exercises the geometry layer's elongated
+single-dome mode and shows the velocity solver is not specialized to the
+Antarctica test case.
+"""
+
+import numpy as np
+import pytest
+
+from repro.app.config import VelocityConfig
+from repro.app.velocity_solver import StokesVelocityProblem
+from repro.mesh import greenland_geometry
+from repro.mesh.extrude import extrude_footprint
+from repro.mesh.planar import masked_quad_footprint
+
+
+@pytest.fixture(scope="module")
+def greenland():
+    geo = greenland_geometry()
+    fp = masked_quad_footprint(9, 15, geo.lx, geo.ly, geo.mask)
+    mesh = extrude_footprint(fp, geo, 5)
+    problem = StokesVelocityProblem(mesh, geo, VelocityConfig())
+    sol = problem.solve()
+    return geo, mesh, problem, sol
+
+
+class TestGreenland:
+    def test_geometry_elongated(self):
+        geo = greenland_geometry()
+        assert geo.aspect > 1.5
+        assert not geo.secondary_dome
+        # longer north-south than east-west
+        x = np.linspace(0, geo.lx, 200)
+        y = np.linspace(0, geo.ly, 200)
+        cx, cy = geo.center
+        extent_x = np.ptp(x[np.asarray(geo.mask(x, np.full_like(x, cy)))])
+        extent_y = np.ptp(y[np.asarray(geo.mask(np.full_like(y, cx), y))])
+        assert extent_y > 1.4 * extent_x
+
+    def test_solver_converges(self, greenland):
+        _, _, _, sol = greenland
+        norms = sol.newton.residual_norms
+        assert norms[-1] < 1.0e-3 * norms[0]
+        assert all(i < 900 for i in sol.newton.linear_iterations)
+
+    def test_velocities_physical(self, greenland):
+        _, _, _, sol = greenland
+        assert 5.0 < sol.mean_velocity < 500.0
+        assert sol.surface_mean_velocity > sol.mean_velocity
+
+    def test_flow_drains_along_major_axis_margins(self, greenland):
+        """Fast ice concentrates near the margins, not at the divide."""
+        geo, mesh, problem, sol = greenland
+        u = problem.dofmap.nodal_view(sol.u)
+        surf = mesh.surface_nodes()
+        speed = np.hypot(u[surf, 0], u[surf, 1])
+        xy = mesh.coords[surf, :2]
+        cx, cy = geo.center
+        r = np.hypot(xy[:, 0] - cx, (xy[:, 1] - cy) / geo.aspect)
+        inner = speed[r < 0.3 * geo.radius]
+        outer = speed[r > 0.55 * geo.radius]
+        assert inner.size and outer.size
+        assert inner.mean() < outer.mean()

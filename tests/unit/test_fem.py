@@ -1,0 +1,335 @@
+"""Tests for the FE substrate: elements, quadrature, basis data, assembly."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fem import (
+    Quad4,
+    Tri3,
+    Hex8,
+    Wedge6,
+    reference_element,
+    gauss_legendre_1d,
+    quadrature_rule,
+    compute_basis_data,
+    compute_face_basis_data,
+    DofMap,
+    CsrMatrix,
+    assemble_matrix,
+    assemble_vector,
+    apply_dirichlet,
+)
+
+
+class TestReferenceElements:
+    @pytest.mark.parametrize("cls", [Quad4, Tri3, Hex8, Wedge6])
+    def test_partition_of_unity(self, cls):
+        rng = np.random.default_rng(0)
+        if cls in (Tri3,):
+            pts = rng.dirichlet([1, 1, 1], size=10)[:, :2]
+        elif cls is Wedge6:
+            tri = rng.dirichlet([1, 1, 1], size=10)[:, :2]
+            pts = np.concatenate([tri, rng.uniform(-1, 1, (10, 1))], axis=1)
+        else:
+            pts = rng.uniform(-1, 1, (10, cls.dim))
+        N = cls.shape(pts)
+        assert np.allclose(N.sum(axis=1), 1.0)
+        G = cls.grad(pts)
+        assert np.allclose(G.sum(axis=1), 0.0, atol=1e-12)
+
+    @pytest.mark.parametrize("cls", [Quad4, Tri3, Hex8, Wedge6])
+    def test_kronecker_at_nodes(self, cls):
+        N = cls.shape(cls.nodes)
+        assert np.allclose(N, np.eye(cls.num_nodes), atol=1e-12)
+
+    @pytest.mark.parametrize("cls", [Quad4, Tri3, Hex8, Wedge6])
+    def test_gradient_matches_fd(self, cls):
+        rng = np.random.default_rng(1)
+        p = rng.uniform(-0.4, 0.4, (1, cls.dim)) + (0.3 if cls in (Tri3, Wedge6) else 0.0)
+        G = cls.grad(p)[0]
+        eps = 1e-6
+        for d in range(cls.dim):
+            pp, pm = p.copy(), p.copy()
+            pp[0, d] += eps
+            pm[0, d] -= eps
+            fd = (cls.shape(pp)[0] - cls.shape(pm)[0]) / (2 * eps)
+            assert np.allclose(G[:, d], fd, atol=1e-8)
+
+    def test_registry(self):
+        assert reference_element("hex8") is Hex8
+        with pytest.raises(ValueError):
+            reference_element("tet4")
+
+
+class TestQuadrature:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_gauss_1d_exactness(self, n):
+        pts, wts = gauss_legendre_1d(n)
+        for deg in range(2 * n):
+            exact = (1 - (-1) ** (deg + 1)) / (deg + 1)
+            assert np.isclose(np.sum(wts * pts**deg), exact, atol=1e-12)
+
+    def test_hex_rule_has_8_points(self):
+        pts, wts = quadrature_rule("hex8", 2)
+        assert len(pts) == 8
+        assert np.isclose(wts.sum(), 8.0)  # volume of [-1,1]^3
+
+    def test_quad_rule_weight_sum(self):
+        _, wts = quadrature_rule("quad4", 2)
+        assert np.isclose(wts.sum(), 4.0)
+
+    def test_triangle_rule_area(self):
+        for deg in (1, 2, 3):
+            pts, wts = quadrature_rule("tri3", deg)
+            assert np.isclose(wts.sum(), 0.5)
+
+    def test_triangle_rule_quadratic_exact(self):
+        pts, wts = quadrature_rule("tri3", 2)
+        # integral of x^2 over unit triangle = 1/12
+        assert np.isclose(np.sum(wts * pts[:, 0] ** 2), 1.0 / 12.0)
+
+    def test_wedge_rule_volume(self):
+        _, wts = quadrature_rule("wedge6", 2)
+        assert np.isclose(wts.sum(), 1.0)  # 0.5 (tri) * 2 (line)
+
+    def test_unknown_type(self):
+        with pytest.raises(ValueError):
+            quadrature_rule("pyr5")
+        with pytest.raises(ValueError):
+            gauss_legendre_1d(0)
+
+
+def _unit_cube_mesh(n=2):
+    """n^3 hex mesh of the unit cube."""
+    xs = np.linspace(0, 1, n + 1)
+    X, Y, Z = np.meshgrid(xs, xs, xs, indexing="ij")
+    coords = np.stack([X.ravel(), Y.ravel(), Z.ravel()], axis=1)
+
+    def nid(i, j, k):
+        return (i * (n + 1) + j) * (n + 1) + k
+
+    elems = []
+    for i in range(n):
+        for j in range(n):
+            for k in range(n):
+                elems.append(
+                    [
+                        nid(i, j, k),
+                        nid(i + 1, j, k),
+                        nid(i + 1, j + 1, k),
+                        nid(i, j + 1, k),
+                        nid(i, j, k + 1),
+                        nid(i + 1, j, k + 1),
+                        nid(i + 1, j + 1, k + 1),
+                        nid(i, j + 1, k + 1),
+                    ]
+                )
+    return coords, np.array(elems, dtype=np.int64)
+
+
+class TestBasisData:
+    def test_cube_volume(self):
+        coords, elems = _unit_cube_mesh(2)
+        bd = compute_basis_data(coords, elems, "hex8")
+        assert np.isclose(bd.cell_volumes().sum(), 1.0)
+        assert bd.num_qps == 8
+        assert bd.num_nodes == 8
+
+    def test_wbf_integrates_basis(self):
+        # sum_n wBF(c,n,q) over n,q = volume
+        coords, elems = _unit_cube_mesh(1)
+        bd = compute_basis_data(coords, elems, "hex8")
+        assert np.isclose(bd.w_bf.sum(), 1.0)
+
+    def test_gradient_reproduces_linear_field(self):
+        coords, elems = _unit_cube_mesh(2)
+        bd = compute_basis_data(coords, elems, "hex8")
+        f = 2.0 * coords[:, 0] - 3.0 * coords[:, 1] + 0.5 * coords[:, 2]
+        fe = f[elems]  # (nc, nn)
+        grad = np.einsum("cn,cnqd->cqd", fe, bd.grad_bf)
+        assert np.allclose(grad[..., 0], 2.0)
+        assert np.allclose(grad[..., 1], -3.0)
+        assert np.allclose(grad[..., 2], 0.5)
+
+    def test_stretched_mesh_volume(self):
+        coords, elems = _unit_cube_mesh(2)
+        stretched = coords * np.array([2.0, 3.0, 0.5])
+        bd = compute_basis_data(stretched, elems, "hex8")
+        assert np.isclose(bd.cell_volumes().sum(), 3.0)
+
+    def test_tangled_mesh_rejected(self):
+        coords, elems = _unit_cube_mesh(1)
+        bad = coords.copy()
+        bad[elems[0, 0]] = bad[elems[0, 6]] + 1.0  # fold the element
+        with pytest.raises(ValueError):
+            compute_basis_data(bad, elems, "hex8")
+
+    def test_face_basis_area(self):
+        # unit square face floating in 3D, at an angle
+        coords = np.array(
+            [[0, 0, 0], [1, 0, 0.5], [1, 1, 0.5], [0, 1, 0.0]], dtype=float
+        )
+        faces = np.array([[0, 1, 2, 3]])
+        bd = compute_face_basis_data(coords, faces, "quad4")
+        exact = np.sqrt(1 + 0.25)  # stretched in x-z
+        assert np.isclose(bd.cell_volumes().sum(), exact, rtol=1e-6)
+
+    def test_qp_coords_inside_bounds(self):
+        coords, elems = _unit_cube_mesh(2)
+        bd = compute_basis_data(coords, elems, "hex8")
+        assert bd.qp_coords.min() >= 0.0
+        assert bd.qp_coords.max() <= 1.0
+
+
+class TestDofMap:
+    def test_numbering(self):
+        elems = np.array([[0, 1, 2], [1, 2, 3]])
+        dm = DofMap(4, 2, elems)
+        assert dm.num_dofs == 8
+        assert dm.dof(3, 1) == 7
+        assert dm.node_of(7) == 3
+        assert dm.comp_of(7) == 1
+
+    def test_elem_dofs_interleaved(self):
+        dm = DofMap(4, 2, np.array([[0, 2]]))
+        assert np.array_equal(dm.elem_dofs()[0], [0, 1, 4, 5])
+
+    def test_gather(self):
+        dm = DofMap(3, 2, np.array([[0, 2]]))
+        sol = np.arange(6.0)
+        assert np.array_equal(dm.gather(sol)[0], [0.0, 1.0, 4.0, 5.0])
+        with pytest.raises(ValueError):
+            dm.gather(np.zeros(5))
+
+    def test_nodal_view(self):
+        dm = DofMap(3, 2, np.array([[0, 1]]))
+        v = dm.nodal_view(np.arange(6.0))
+        assert v.shape == (3, 2)
+        assert v[2, 1] == 5.0
+
+
+class TestCsr:
+    def test_from_coo_sums_duplicates(self):
+        m = CsrMatrix.from_coo([0, 0, 1], [1, 1, 0], [2.0, 3.0, 4.0], (2, 2))
+        dense = m.toarray()
+        assert dense[0, 1] == 5.0
+        assert dense[1, 0] == 4.0
+        assert m.nnz == 2
+
+    def test_matvec_matches_scipy(self):
+        rng = np.random.default_rng(0)
+        import scipy.sparse as sp
+
+        A = sp.random(40, 30, density=0.1, random_state=0, format="csr")
+        m = CsrMatrix.from_scipy(A)
+        x = rng.normal(size=30)
+        assert np.allclose(m.matvec(x), A @ x)
+        y = rng.normal(size=40)
+        assert np.allclose(m.rmatvec(y), A.T @ y)
+
+    def test_matvec_empty_rows(self):
+        m = CsrMatrix.from_coo([2], [0], [1.5], (4, 3))
+        y = m.matvec(np.array([2.0, 0.0, 0.0]))
+        assert np.allclose(y, [0, 0, 3.0, 0])
+
+    def test_diagonal(self):
+        m = CsrMatrix.from_coo([0, 1, 1], [0, 1, 0], [5.0, 7.0, 1.0], (2, 2))
+        assert np.array_equal(m.diagonal(), [5.0, 7.0])
+
+    def test_transpose(self):
+        m = CsrMatrix.from_coo([0, 1], [1, 0], [2.0, 3.0], (2, 3))
+        t = m.transpose()
+        assert t.shape == (3, 2)
+        assert np.allclose(t.toarray(), m.toarray().T)
+
+    def test_norms(self):
+        m = CsrMatrix.from_coo([0, 0, 1], [0, 1, 1], [3.0, -4.0, 2.0], (2, 2))
+        assert m.norm_inf() == 7.0
+        assert np.isclose(m.norm_fro(), np.sqrt(29.0))
+
+    def test_identity(self):
+        m = CsrMatrix.identity(5)
+        x = np.arange(5.0)
+        assert np.array_equal(m.matvec(x), x)
+
+    def test_scale_rows(self):
+        m = CsrMatrix.from_coo([0, 1], [0, 1], [1.0, 1.0], (2, 2))
+        s = m.scale_rows(np.array([2.0, 3.0]))
+        assert np.array_equal(s.diagonal(), [2.0, 3.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CsrMatrix((2, 2), [0, 1], [0], [1.0])  # indptr too short
+        with pytest.raises(ValueError):
+            CsrMatrix((2, 2), [0, 1, 1], [5], [1.0])  # col out of range
+
+    @given(st.integers(2, 20), st.integers(0, 60))
+    @settings(max_examples=25, deadline=None)
+    def test_coo_roundtrip_property(self, n, nnz):
+        rng = np.random.default_rng(nnz * 131 + n)
+        rows = rng.integers(0, n, nnz)
+        cols = rng.integers(0, n, nnz)
+        vals = rng.normal(size=nnz)
+        m = CsrMatrix.from_coo(rows, cols, vals, (n, n))
+        dense = np.zeros((n, n))
+        np.add.at(dense, (rows, cols), vals)
+        assert np.allclose(m.toarray(), dense)
+
+
+class TestAssembly:
+    def test_assemble_vector_matches_loop(self):
+        elems = np.array([[0, 1], [1, 2]])
+        dm = DofMap(3, 1, elems)
+        local = np.array([[1.0, 2.0], [3.0, 4.0]])
+        out = assemble_vector(dm, local)
+        assert np.allclose(out, [1.0, 5.0, 4.0])
+
+    def test_assemble_matrix_1d_laplace(self):
+        # three-node 1D chain with k_e = [[1,-1],[-1,1]]
+        elems = np.array([[0, 1], [1, 2]])
+        dm = DofMap(3, 1, elems)
+        ke = np.array([[1.0, -1.0], [-1.0, 1.0]])
+        A = assemble_matrix(dm, np.stack([ke, ke]))
+        expect = np.array([[1, -1, 0], [-1, 2, -1], [0, -1, 1]], dtype=float)
+        assert np.allclose(A.toarray(), expect)
+
+    def test_shape_validation(self):
+        dm = DofMap(3, 1, np.array([[0, 1]]))
+        with pytest.raises(ValueError):
+            assemble_matrix(dm, np.zeros((1, 3, 3)))
+        with pytest.raises(ValueError):
+            assemble_vector(dm, np.zeros((2, 2)))
+
+    def test_apply_dirichlet(self):
+        elems = np.array([[0, 1], [1, 2]])
+        dm = DofMap(3, 1, elems)
+        ke = np.array([[1.0, -1.0], [-1.0, 1.0]])
+        A = assemble_matrix(dm, np.stack([ke, ke]))
+        b = np.array([0.0, 1.0, 0.0])
+        A2, b2 = apply_dirichlet(A, b, np.array([0]), 5.0)
+        dense = A2.toarray()
+        assert np.allclose(dense[0], [1, 0, 0])
+        assert b2[0] == 5.0
+        # interior rows untouched
+        assert np.allclose(dense[1], [-1, 2, -1])
+
+    def test_apply_dirichlet_out_of_range(self):
+        dm = DofMap(2, 1, np.array([[0, 1]]))
+        A = assemble_matrix(dm, np.ones((1, 2, 2)))
+        with pytest.raises(ValueError):
+            apply_dirichlet(A, np.zeros(2), np.array([9]))
+
+    def test_dirichlet_solution_exact(self):
+        """Solve 1D Laplace with Dirichlet ends; expect linear profile."""
+        n = 10
+        elems = np.stack([np.arange(n), np.arange(1, n + 1)], axis=1)
+        dm = DofMap(n + 1, 1, elems)
+        h = 1.0 / n
+        ke = np.array([[1.0, -1.0], [-1.0, 1.0]]) / h
+        A = assemble_matrix(dm, np.tile(ke, (n, 1, 1)))
+        b = np.zeros(n + 1)
+        A2, b2 = apply_dirichlet(A, b, np.array([0, n]), np.array([0.0, 1.0]))
+        x = np.linalg.solve(A2.toarray(), b2)
+        assert np.allclose(x, np.linspace(0, 1, n + 1), atol=1e-10)

@@ -1,0 +1,124 @@
+"""Property tests of the data-movement model on synthetic thread programs.
+
+Builds random-but-structured access programs (not just the Stokes
+kernels) and checks the invariants the simulator's conclusions rest on:
+traffic is bounded below by compulsory traffic, monotone in cache
+pressure, and equals the streaming optimum for single-pass programs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim.memtrace import measure_data_movement
+from repro.gpusim.occupancy import Occupancy
+from repro.gpusim.specs import A100, MI250X_GCD
+from repro.gpusim.trace import Slot, ThreadProgram
+
+
+def _program(slots, writes, key="synthetic"):
+    return ThreadProgram(
+        variant_key=key,
+        accesses=[],
+        slot_trace=slots,
+        writes=list(writes),
+        flops=10,
+        mem_insts=len(slots),
+        view_meta={},
+        num_nodes=8,
+        num_qps=8,
+    )
+
+
+def _occ(warps_per_cu=16.0, total=1000.0):
+    return Occupancy(
+        warps_per_cu=warps_per_cu,
+        total_warps=total,
+        fraction=0.5,
+        num_blocks=100,
+        threads_per_block=256,
+        tail_efficiency=1.0,
+    )
+
+
+def _streaming_program(n, key):
+    """Touch n distinct read slots once, write n distinct output slots."""
+    slots = [Slot("in", i, 0) for i in range(n)] + [Slot("out", i, 0) for i in range(n)]
+    writes = [False] * n + [True] * n
+    return _program(slots, writes, key)
+
+
+class TestStreaming:
+    def test_single_pass_equals_compulsory(self):
+        """A streaming program moves exactly reads + final writebacks."""
+        for spec in (A100, MI250X_GCD):
+            p = _streaming_program(50, f"stream-{spec.name}")
+            dm = measure_data_movement(p, spec, _occ(), 256_000)
+            L, line = spec.lines_per_access, spec.line_bytes
+            per_warp = 50 * L * line  # reads
+            assert dm.per_warp_read_bytes == pytest.approx(per_warp)
+            assert dm.per_warp_write_bytes == pytest.approx(per_warp)
+            assert dm.rmw_fraction == 0.0
+
+    def test_rmw_program_detected(self):
+        slots = []
+        writes = []
+        for i in range(10):
+            for _ in range(4):  # read-modify-write x4 per slot
+                slots += [Slot("acc", i, 0), Slot("acc", i, 0)]
+                writes += [False, True]
+        dm = measure_data_movement(_program(slots, writes, "rmw"), A100, _occ(), 1000)
+        assert dm.rmw_fraction == 1.0
+
+
+class TestMonotonicity:
+    @given(st.integers(5, 60), st.integers(2, 6))
+    @settings(max_examples=25, deadline=None)
+    def test_traffic_at_least_compulsory(self, n, revisits):
+        rng = np.random.default_rng(n * 7 + revisits)
+        base = [Slot("a", int(i), 0) for i in range(n)]
+        trace = []
+        writes = []
+        for _ in range(revisits):
+            order = rng.permutation(n)
+            trace += [base[i] for i in order]
+            writes += [bool(rng.integers(0, 2)) for _ in range(n)]
+        key = f"rand-{n}-{revisits}-{hash(tuple(writes)) & 0xFFFF}"
+        dm = measure_data_movement(_program(trace, writes, key), MI250X_GCD, _occ(), 64_000)
+        L, line = MI250X_GCD.lines_per_access, MI250X_GCD.line_bytes
+        reads_compulsory = sum(1 for s, w in zip(trace[:n], writes[:n]) if not w)
+        assert dm.per_warp_read_bytes >= reads_compulsory * L * line - 1e-9
+
+    def test_more_concurrency_never_less_traffic(self):
+        """Higher effective interleave -> equal or more HBM traffic."""
+        n = 400
+        rng = np.random.default_rng(0)
+        base = [Slot("a", int(i), 0) for i in range(n)]
+        trace, writes = [], []
+        for r in range(3):
+            trace += base
+            writes += [False] * n
+        prev = None
+        for total_warps, tag in ((10.0, "lo"), (1000.0, "mid"), (100000.0, "hi")):
+            p = _program(list(trace), writes, f"conc-{tag}")
+            dm = measure_data_movement(p, MI250X_GCD, _occ(total=total_warps), 64_000)
+            if prev is not None:
+                assert dm.total_bytes >= prev - 1e-6
+            prev = dm.total_bytes
+
+    def test_bigger_cache_never_more_traffic(self):
+        import dataclasses
+
+        n = 400
+        base = [Slot("a", int(i), 0) for i in range(n)]
+        trace = base * 3
+        writes = [False] * len(trace)
+        prev = None
+        for mb, tag in ((1, "s"), (8, "m"), (64, "l")):
+            spec = dataclasses.replace(MI250X_GCD, l2_bytes=mb * 1024 * 1024)
+            p = _program(list(trace), writes, f"cache-{tag}")
+            dm = measure_data_movement(p, spec, _occ(), 64_000)
+            if prev is not None:
+                assert dm.total_bytes <= prev + 1e-6
+            prev = dm.total_bytes

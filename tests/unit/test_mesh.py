@@ -1,0 +1,278 @@
+"""Tests for planar footprints, geometry, extrusion and partitioning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mesh import (
+    quad_footprint,
+    masked_quad_footprint,
+    antarctica_geometry,
+    vialov_profile,
+    extrude_footprint,
+    uniform_sigma_levels,
+    partition_footprint,
+    HaloExchange,
+)
+
+
+class TestQuadFootprint:
+    def test_counts(self):
+        fp = quad_footprint(4, 3, 4.0, 3.0)
+        assert fp.num_nodes == 5 * 4
+        assert fp.num_elems == 12
+        assert fp.nodes_per_elem == 4
+
+    def test_euler_characteristic_disk(self):
+        fp = quad_footprint(5, 7, 1.0, 1.0)
+        assert fp.euler_characteristic() == 1
+
+    def test_areas_positive_and_sum(self):
+        fp = quad_footprint(4, 4, 2.0, 2.0)
+        areas = fp.elem_areas()
+        assert np.all(areas > 0)
+        assert np.isclose(areas.sum(), 4.0)
+        fp.validate()
+
+    def test_boundary_nodes(self):
+        fp = quad_footprint(3, 3, 1.0, 1.0)
+        # 4x4 nodes, boundary ring has 12
+        assert len(fp.boundary_nodes) == 12
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            quad_footprint(0, 3, 1.0, 1.0)
+
+    @given(st.integers(2, 8), st.integers(2, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_euler_property(self, nx, ny):
+        fp = quad_footprint(nx, ny, 1.0, 1.0)
+        assert fp.euler_characteristic() == 1
+
+
+class TestMaskedFootprint:
+    def test_disk_mask(self):
+        fp = masked_quad_footprint(10, 10, 2.0, 2.0, lambda x, y: (x - 1) ** 2 + (y - 1) ** 2 < 0.8**2)
+        assert 0 < fp.num_elems < 100
+        fp.validate()
+        # compact numbering
+        assert fp.elems.max() == fp.num_nodes - 1
+
+    def test_empty_mask_rejected(self):
+        with pytest.raises(ValueError):
+            masked_quad_footprint(4, 4, 1.0, 1.0, lambda x, y: np.zeros_like(x, dtype=bool))
+
+
+class TestGeometry:
+    def test_vialov_monotone_decreasing(self):
+        r = np.linspace(0, 1.0e6, 50)
+        h = vialov_profile(r, 1.0e6, 3000.0)
+        assert h[0] == 3000.0
+        assert h[-1] == 0.0
+        assert np.all(np.diff(h) <= 1e-9)
+
+    def test_antarctica_fields_shapes(self):
+        geo = antarctica_geometry()
+        x = np.linspace(0, geo.lx, 20)
+        y = np.full(20, geo.ly / 2)
+        for fn in (geo.thickness, geo.surface, geo.bed, geo.basal_friction):
+            assert fn(x, y).shape == (20,)
+
+    def test_surface_above_base(self):
+        geo = antarctica_geometry()
+        rng = np.random.default_rng(1)
+        x = rng.uniform(0, geo.lx, 200)
+        y = rng.uniform(0, geo.ly, 200)
+        assert np.all(geo.surface(x, y) >= geo.lower_surface(x, y) - 1e-9)
+
+    def test_center_is_iced(self):
+        geo = antarctica_geometry()
+        cx, cy = geo.center
+        assert geo.mask(np.array([cx]), np.array([cy]))[0]
+        assert geo.thickness(np.array([cx]), np.array([cy]))[0] > 3000.0
+
+    def test_temperature_monotone_in_height(self):
+        geo = antarctica_geometry()
+        cx, cy = geo.center
+        t_bed = geo.temperature(cx, cy, 0.0)
+        t_srf = geo.temperature(cx, cy, 1.0)
+        assert t_bed > t_srf  # bed warmer than surface
+
+    def test_floating_fringe_exists(self):
+        geo = antarctica_geometry()
+        rng = np.random.default_rng(2)
+        x = rng.uniform(0, geo.lx, 4000)
+        y = rng.uniform(0, geo.ly, 4000)
+        iced = geo.mask(x, y)
+        grounded = geo.grounded(x, y)
+        assert np.any(iced & ~grounded), "expected some floating ice"
+        assert np.any(iced & grounded)
+
+
+class TestExtrusion:
+    def _mesh(self, nz=4):
+        geo = antarctica_geometry()
+        fp = masked_quad_footprint(12, 12, geo.lx, geo.ly, geo.mask)
+        return extrude_footprint(fp, geo, nz)
+
+    def test_counts(self):
+        m = self._mesh(nz=4)
+        assert m.num_nodes == m.footprint.num_nodes * 5
+        assert m.num_elems == m.footprint.num_elems * 4
+        assert m.elem_type == "hex8"
+        assert m.nodes_per_elem == 8
+
+    def test_column_numbering(self):
+        m = self._mesh(nz=3)
+        assert m.node_id(2, 1) == 2 * 4 + 1
+        assert np.array_equal(m.column_nodes(0), [0, 1, 2, 3])
+        assert m.elem_id(5, 2) == 5 * 3 + 2
+        assert m.elem_layer(m.elem_id(5, 2)) == 2
+        assert m.elem_column(m.elem_id(5, 2)) == 5
+
+    def test_z_increases_within_column(self):
+        m = self._mesh(nz=5)
+        for n2d in (0, m.footprint.num_nodes // 2):
+            z = m.coords[m.column_nodes(n2d), 2]
+            assert np.all(np.diff(z) > 0)
+
+    def test_basal_and_surface_sets(self):
+        m = self._mesh(nz=4)
+        assert len(m.basal_elems()) == m.footprint.num_elems
+        assert np.all(m.elem_layer(m.basal_elems()) == 0)
+        assert np.all(m.elem_layer(m.surface_elems()) == 3)
+        assert len(m.basal_nodes()) == m.footprint.num_nodes
+        z_base = m.coords[m.basal_nodes(), 2]
+        z_surf = m.coords[m.surface_nodes(), 2]
+        assert np.all(z_surf > z_base)
+
+    def test_basal_faces_are_bottom_quads(self):
+        m = self._mesh(nz=4)
+        faces = m.basal_face_nodes()
+        assert faces.shape == (m.footprint.num_elems, 4)
+        assert np.all(faces % m.levels == 0)  # all level-0 nodes
+
+    def test_lateral_nodes_cover_all_levels(self):
+        m = self._mesh(nz=4)
+        lat = m.lateral_nodes()
+        assert len(lat) == len(m.footprint.boundary_nodes) * m.levels
+
+    def test_bad_sigma_rejected(self):
+        geo = antarctica_geometry()
+        fp = masked_quad_footprint(8, 8, geo.lx, geo.ly, geo.mask)
+        with pytest.raises(ValueError):
+            extrude_footprint(fp, geo, 4, sigma=np.array([0.0, 0.5, 1.0]))
+        with pytest.raises(ValueError):
+            extrude_footprint(fp, geo, 2, sigma=np.array([0.0, 0.7, 0.5, 1.0])[:3])
+
+    def test_sigma_levels(self):
+        s = uniform_sigma_levels(4)
+        assert len(s) == 5 and s[0] == 0.0 and s[-1] == 1.0
+        with pytest.raises(ValueError):
+            uniform_sigma_levels(0)
+
+
+class TestVoronoi:
+    def test_mpas_mesh_and_dual(self):
+        from repro.mesh import mpas_voronoi_mesh, triangle_footprint_from_voronoi
+
+        geo = antarctica_geometry()
+        vm = mpas_voronoi_mesh(geo.mask, geo.lx, geo.ly, spacing=4.0e5, lloyd_iters=1)
+        assert vm.num_cells > 20
+        assert vm.num_triangles > 20
+        # adjacency is symmetric
+        for c in range(0, vm.num_cells, max(1, vm.num_cells // 10)):
+            for nb in vm.neighbors(c):
+                assert c in vm.neighbors(int(nb))
+        fp = triangle_footprint_from_voronoi(vm)
+        assert fp.elem_type == "tri3"
+        fp.validate()
+        areas = fp.elem_areas()
+        assert np.all(areas > 0)
+
+    def test_degrees_near_six(self):
+        from repro.mesh import mpas_voronoi_mesh
+
+        geo = antarctica_geometry()
+        vm = mpas_voronoi_mesh(geo.mask, geo.lx, geo.ly, spacing=3.0e5, lloyd_iters=2)
+        interior_degree = np.median(vm.degree())
+        assert 5 <= interior_degree <= 7  # hexagonal-ish CVT
+
+    def test_cell_areas_positive(self):
+        from repro.mesh import mpas_voronoi_mesh
+
+        geo = antarctica_geometry()
+        vm = mpas_voronoi_mesh(geo.mask, geo.lx, geo.ly, spacing=4.0e5)
+        assert np.all(vm.cell_areas() > 0)
+
+    def test_too_sparse_rejected(self):
+        from repro.mesh import mpas_voronoi_mesh
+
+        with pytest.raises(ValueError):
+            mpas_voronoi_mesh(lambda x, y: np.zeros_like(x, dtype=bool), 1.0, 1.0, 0.5)
+
+
+class TestPartition:
+    def _fp(self):
+        return quad_footprint(8, 8, 1.0, 1.0)
+
+    def test_partition_covers_all(self):
+        fp = self._fp()
+        p = partition_footprint(fp, 4)
+        assert np.array_equal(np.sort(np.unique(p.elem_part)), np.arange(4))
+        total = sum(len(p.owned_elems(i)) for i in range(4))
+        assert total == fp.num_elems
+
+    def test_balance(self):
+        p = partition_footprint(self._fp(), 4)
+        assert p.balance() <= 1.1
+
+    def test_node_ownership_unique(self):
+        fp = self._fp()
+        p = partition_footprint(fp, 3)
+        owned = np.concatenate([p.owned_nodes(i) for i in range(3)])
+        assert len(owned) == fp.num_nodes
+        assert len(np.unique(owned)) == fp.num_nodes
+
+    def test_ghosts_disjoint_from_owned(self):
+        p = partition_footprint(self._fp(), 4)
+        for part in range(4):
+            assert not np.intersect1d(p.ghost_nodes(part), p.owned_nodes(part)).size
+
+    def test_invalid_nparts(self):
+        with pytest.raises(ValueError):
+            partition_footprint(self._fp(), 0)
+        with pytest.raises(ValueError):
+            partition_footprint(quad_footprint(1, 1, 1, 1), 5)
+
+    def test_halo_scatter_add_matches_global(self):
+        """Per-part assembly + halo reduction == serial assembly."""
+        fp = self._fp()
+        p = partition_footprint(fp, 4)
+        halo = HaloExchange(p)
+        rng = np.random.default_rng(3)
+        elem_weight = rng.uniform(1.0, 2.0, fp.num_elems)
+
+        # serial: every element adds its weight to its 4 nodes
+        global_sum = np.zeros(fp.num_nodes)
+        np.add.at(global_sum, fp.elems.ravel(), np.repeat(elem_weight, 4))
+
+        contribs = []
+        for part in range(4):
+            local_nodes = halo.local_nodes(part)
+            g2l = {g: l for l, g in enumerate(local_nodes)}
+            acc = np.zeros(len(local_nodes))
+            for e in p.owned_elems(part):
+                for n in fp.elems[e]:
+                    acc[g2l[n]] += elem_weight[e]
+            contribs.append(acc)
+        out = halo.scatter_add(contribs)
+        assert np.allclose(out, global_sum)
+
+    def test_halo_gather(self):
+        p = partition_footprint(self._fp(), 2)
+        halo = HaloExchange(p)
+        field = np.arange(p.footprint.num_nodes, dtype=float)
+        local = halo.gather(0, field)
+        assert np.array_equal(local, field[halo.local_nodes(0)])

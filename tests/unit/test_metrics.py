@@ -1,0 +1,87 @@
+"""Tests for the alternative portability efficiencies (related work)."""
+
+import pytest
+
+from repro.gpusim import A100, MI250X_GCD, GPUSimulator, ProblemSize
+from repro.perf import (
+    architectural_efficiency,
+    application_efficiency,
+    ai_fraction,
+    theoretical_minimum,
+    performance_portability,
+)
+
+PROB = ProblemSize(64_000)
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    out = {}
+    for spec in (A100, MI250X_GCD):
+        sim = GPUSimulator(spec)
+        for impl in ("baseline", "optimized"):
+            out[(impl, spec.name)] = sim.run(f"{impl}-jacobian", PROB)
+    return out
+
+
+class TestArchitecturalEfficiency:
+    def test_bounded(self, profiles):
+        for (impl, gpu), p in profiles.items():
+            spec = A100 if gpu == "A100" else MI250X_GCD
+            e = architectural_efficiency(spec, p)
+            assert 0.0 < e <= 1.0
+
+    def test_optimization_improves(self, profiles):
+        for gpu, spec in (("A100", A100), ("MI250X-GCD", MI250X_GCD)):
+            b = architectural_efficiency(spec, profiles[("baseline", gpu)])
+            o = architectural_efficiency(spec, profiles[("optimized", gpu)])
+            assert o > b
+
+
+class TestApplicationEfficiency:
+    def test_best_is_one(self, profiles):
+        p = profiles[("optimized", "A100")]
+        assert application_efficiency(p, p.time_s) == pytest.approx(1.0)
+
+    def test_baseline_below_one(self, profiles):
+        b = profiles[("baseline", "A100")]
+        o = profiles[("optimized", "A100")]
+        e = application_efficiency(b, o.time_s)
+        assert 0.0 < e < 0.6  # ~1/speedup
+
+    def test_validation(self, profiles):
+        with pytest.raises(ValueError):
+            application_efficiency(profiles[("baseline", "A100")], 0.0)
+
+
+class TestAiFraction:
+    def test_equals_edm(self, profiles):
+        """For fixed flops, AI fraction is exactly e_DM."""
+        th = theoretical_minimum("optimized-jacobian", PROB.num_cells)
+        p = profiles[("baseline", "A100")]
+        assert ai_fraction(p, th) == pytest.approx(min(1.0, th.total_bytes / p.hbm_bytes))
+
+    def test_optimized_near_one(self, profiles):
+        th = theoretical_minimum("optimized-jacobian", PROB.num_cells)
+        assert ai_fraction(profiles[("optimized", "A100")], th) > 0.8
+
+
+class TestCrossMetricConsistency:
+    def test_all_metrics_agree_on_the_winner(self, profiles):
+        """Whatever the efficiency definition, the optimized kernel wins Phi."""
+        th = theoretical_minimum("optimized-jacobian", PROB.num_cells)
+        for metric in ("arch", "app", "ai"):
+            phis = {}
+            for impl in ("baseline", "optimized"):
+                effs = []
+                for gpu, spec in (("A100", A100), ("MI250X-GCD", MI250X_GCD)):
+                    p = profiles[(impl, gpu)]
+                    if metric == "arch":
+                        effs.append(architectural_efficiency(spec, p))
+                    elif metric == "app":
+                        best = profiles[("optimized", gpu)].time_s
+                        effs.append(application_efficiency(p, best))
+                    else:
+                        effs.append(ai_fraction(p, th))
+                phis[impl] = performance_portability(effs)
+            assert phis["optimized"] > phis["baseline"], metric

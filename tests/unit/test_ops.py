@@ -1,0 +1,110 @@
+"""Tests for AD-dispatching math ops."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autodiff import SFad, ops
+
+
+def var(v, n=1, i=0):
+    return SFad(n).independent(np.asarray(v, dtype=float), i)
+
+
+class TestElementary:
+    def test_sqrt_plain(self):
+        assert ops.sqrt(4.0) == 2.0
+
+    def test_sqrt_fad(self):
+        z = ops.sqrt(var(4.0))
+        assert z.val == 2.0
+        assert np.allclose(z.dx, [0.25])
+
+    def test_exp_log_inverse(self):
+        x = var(1.3)
+        z = ops.log(ops.exp(x))
+        assert np.allclose(z.val, 1.3)
+        assert np.allclose(z.dx, [1.0])
+
+    def test_power_fractional(self):
+        x = var(8.0)
+        z = ops.power(x, 1.0 / 3.0)
+        assert np.allclose(z.val, 2.0)
+        assert np.allclose(z.dx, [(1.0 / 3.0) * 8.0 ** (-2.0 / 3.0)])
+
+    def test_power_plain(self):
+        assert ops.power(2.0, 3.0) == 8.0
+
+    def test_trig(self):
+        x = var(0.5)
+        s, c = ops.sin(x), ops.cos(x)
+        assert np.allclose(s.dx, [np.cos(0.5)])
+        assert np.allclose(c.dx, [-np.sin(0.5)])
+        t = ops.tanh(x)
+        assert np.allclose(t.dx, [1.0 - np.tanh(0.5) ** 2])
+
+    def test_hypot3(self):
+        z = ops.hypot3(var(1.0, 3, 0), var(2.0, 3, 1), var(2.0, 3, 2))
+        assert np.allclose(z.val, 3.0)
+        assert np.allclose(z.dx, [1 / 3, 2 / 3, 2 / 3])
+
+
+class TestSelection:
+    def test_where_plain(self):
+        assert np.array_equal(ops.where(np.array([True, False]), 1.0, 2.0), [1.0, 2.0])
+
+    def test_where_fad_selects_derivatives(self):
+        x = var([1.0, 5.0], 2, 0)
+        y = var([3.0, 2.0], 2, 1)
+        z = ops.where(x.val > y.val, x, y)
+        assert np.allclose(z.val, [3.0, 5.0])
+        assert np.allclose(z.dx[0], [0.0, 1.0])
+        assert np.allclose(z.dx[1], [1.0, 0.0])
+
+    def test_maximum_minimum(self):
+        x = var([1.0, 5.0])
+        z = ops.maximum(x, 2.0)
+        assert np.allclose(z.val, [2.0, 5.0])
+        assert np.allclose(z.dx[:, 0], [0.0, 1.0])
+        w = ops.minimum(x, 2.0)
+        assert np.allclose(w.val, [1.0, 2.0])
+
+    def test_clip(self):
+        x = var([-1.0, 0.5, 3.0])
+        z = ops.clip(x, 0.0, 1.0)
+        assert np.allclose(z.val, [0.0, 0.5, 1.0])
+        assert np.allclose(z.dx[:, 0], [0.0, 1.0, 0.0])
+
+    def test_mixed_fad_const_where(self):
+        x = var([1.0, 2.0])
+        z = ops.where(np.array([True, False]), x, 7.0)
+        assert np.allclose(z.val, [1.0, 7.0])
+        assert np.allclose(z.dx[:, 0], [1.0, 0.0])
+
+
+class TestProperties:
+    @given(st.floats(min_value=0.01, max_value=50.0))
+    @settings(max_examples=50, deadline=None)
+    def test_sqrt_derivative_fd(self, a):
+        z = ops.sqrt(var(a))
+        h = 1e-7 * max(1.0, a)
+        fd = (np.sqrt(a + h) - np.sqrt(a - h)) / (2 * h)
+        assert np.allclose(z.dx[0], fd, rtol=1e-4)
+
+    @given(st.floats(min_value=-3.0, max_value=3.0))
+    @settings(max_examples=50, deadline=None)
+    def test_exp_derivative_is_value(self, a):
+        z = ops.exp(var(a))
+        assert np.allclose(z.dx[0], z.val)
+
+    @given(
+        st.floats(min_value=0.1, max_value=10.0),
+        st.floats(min_value=-2.0, max_value=2.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_power_derivative_fd(self, a, p):
+        z = ops.power(var(a), p)
+        h = 1e-6 * max(1.0, a)
+        fd = ((a + h) ** p - (a - h) ** p) / (2 * h)
+        assert np.allclose(z.dx[0], fd, rtol=1e-4, atol=1e-6)

@@ -1,0 +1,68 @@
+"""Tests for the multi-GPU scaling model."""
+
+import pytest
+
+from repro.app.scaling import InterconnectSpec, SLINGSHOT11, ScalingModel, ScalingPoint
+from repro.gpusim import A100, MI250X_GCD
+
+
+@pytest.fixture(scope="module")
+def model():
+    return ScalingModel(A100)
+
+
+class TestPieces:
+    def test_single_gpu_has_no_communication(self, model):
+        pt = model.weak_scaling(100_000, [1])[0]
+        assert pt.t_halo == 0.0
+        assert pt.t_allreduce == 0.0
+        assert pt.communication_fraction == 0.0
+
+    def test_kernel_time_scales_with_cells(self, model):
+        t1 = model.kernel_time_per_step(64_000)
+        t2 = model.kernel_time_per_step(256_000)
+        assert t2 > 2.0 * t1
+
+    def test_ghost_columns_sublinear(self, model):
+        g1 = model.ghost_columns(64_000)
+        g4 = model.ghost_columns(256_000)
+        assert g1 < g4 < 4.0 * g1  # surface-to-volume: ~2x for 4x cells
+
+    def test_allreduce_grows_logarithmically(self, model):
+        t2 = model.allreduce_time_per_step(2)
+        t64 = model.allreduce_time_per_step(64)
+        assert t64 == pytest.approx(6.0 * t2)
+
+    def test_slingshot_numbers(self):
+        assert SLINGSHOT11.bandwidth_per_nic == 25.0e9  # paper Section IV-A
+        assert SLINGSHOT11.nics_per_node == 4
+
+
+class TestProjections:
+    def test_weak_scaling_monotone(self, model):
+        pts = model.weak_scaling(256_000, [1, 4, 16, 64])
+        eff = ScalingModel.efficiency(pts, "weak")
+        assert eff[0] == pytest.approx(1.0)
+        assert all(a >= b for a, b in zip(eff, eff[1:]))
+        assert eff[-1] > 0.5
+
+    def test_strong_scaling_speeds_up(self, model):
+        pts = model.strong_scaling(1_024_000, [1, 4, 16])
+        assert pts[-1].t_step < pts[0].t_step
+        assert pts[-1].cells_per_gpu == 1_024_000 // 16
+
+    def test_efficiency_modes(self, model):
+        pts = model.weak_scaling(128_000, [1, 8])
+        with pytest.raises(ValueError):
+            ScalingModel.efficiency(pts, "diagonal")
+        assert ScalingModel.efficiency([], "weak") == []
+
+    def test_mi250x_model_runs(self):
+        pts = ScalingModel(MI250X_GCD).weak_scaling(128_000, [1, 8])
+        assert all(p.t_step > 0 for p in pts)
+
+    def test_slower_interconnect_hurts(self):
+        slow = InterconnectSpec("slow", 1.0e9, 1, 4, 1.0e-5)
+        fast_pts = ScalingModel(A100).weak_scaling(64_000, [16])
+        slow_pts = ScalingModel(A100, interconnect=slow).weak_scaling(64_000, [16])
+        assert slow_pts[0].t_step > fast_pts[0].t_step

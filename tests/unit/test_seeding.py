@@ -1,0 +1,93 @@
+"""Tests for Jacobian seeding/extraction helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.autodiff import (
+    seed_independent,
+    seed_block,
+    extract_jacobian,
+    finite_difference_jacobian,
+)
+
+
+class TestSeedIndependent:
+    def test_identity_seed(self):
+        x = seed_independent([1.0, 2.0, 3.0])
+        assert np.array_equal(x.dx, np.eye(3))
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValueError):
+            seed_independent(np.zeros((2, 2)))
+
+    def test_quadratic_jacobian(self):
+        x = seed_independent([2.0, 3.0])
+        f = x * x  # elementwise square
+        val, jac = extract_jacobian(f)
+        assert np.allclose(val, [4.0, 9.0])
+        assert np.allclose(jac, np.diag([4.0, 6.0]))
+
+
+class TestSeedBlock:
+    def test_block_shape_and_seeds(self):
+        vals = np.arange(12.0).reshape(3, 4)  # 3 elements, 4 local dofs
+        x = seed_block(vals, num_derivs=4)
+        assert x.shape == (3, 4)
+        for e in range(3):
+            assert np.array_equal(x.dx[e], np.eye(4))
+
+    def test_offset(self):
+        x = seed_block(np.zeros((2, 2)), num_derivs=6, offset=3)
+        assert x.dx[0, 0, 3] == 1.0
+        assert x.dx[0, 1, 4] == 1.0
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            seed_block(np.zeros((2, 5)), num_derivs=4)
+
+    def test_elementwise_jacobian_matches_fd(self):
+        rng = np.random.default_rng(0)
+        vals = rng.normal(size=(5, 3))
+
+        def local_resid(u):
+            # a nonlinear local residual per element
+            return np.stack(
+                [u[..., 0] * u[..., 1], u[..., 1] ** 2 + u[..., 2], np.sin(u[..., 0])],
+                axis=-1,
+            )
+
+        x = seed_block(vals, num_derivs=3)
+        r0 = x[..., 0] * x[..., 1]
+        r1 = x[..., 1] * x[..., 1] + x[..., 2]
+        from repro.autodiff import ops
+
+        r2 = ops.sin(x[..., 0])
+        for e in range(5):
+            fd = finite_difference_jacobian(lambda u: local_resid(u[None])[0], vals[e])
+            ad = np.stack([r0.dx[e], r1.dx[e], r2.dx[e]])
+            assert np.allclose(ad, fd, rtol=1e-5, atol=1e-6)
+
+
+class TestFiniteDifference:
+    def test_linear_exact(self):
+        A = np.array([[1.0, 2.0], [3.0, 4.0]])
+        jac = finite_difference_jacobian(lambda x: A @ x, np.array([0.5, -0.5]))
+        assert np.allclose(jac, A, rtol=1e-6)
+
+    @given(
+        hnp.arrays(
+            np.float64,
+            3,
+            elements=st.floats(min_value=-2.0, max_value=2.0),
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_ad_matches_fd_property(self, v):
+        x = seed_independent(v)
+        f = x * x * 2.0 + x
+        _, jac = extract_jacobian(f)
+        fd = finite_difference_jacobian(lambda u: 2.0 * u * u + u, v)
+        assert np.allclose(jac, fd, rtol=1e-4, atol=1e-5)

@@ -1,0 +1,324 @@
+"""Tests for GMRES, smoothers, MDSC-AMG multigrid, and damped Newton."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fem.sparse import CsrMatrix
+from repro.solvers import (
+    gmres,
+    JacobiSmoother,
+    VerticalLineSmoother,
+    Ilu0Preconditioner,
+    IdentityPreconditioner,
+    build_mdsc_amg,
+    newton_solve,
+)
+
+
+def _laplace_1d(n):
+    main = 2.0 * np.ones(n)
+    off = -1.0 * np.ones(n - 1)
+    A = sp.diags([off, main, off], [-1, 0, 1]).tocsr()
+    return CsrMatrix.from_scipy(A)
+
+
+def _random_spd(n, seed=0):
+    rng = np.random.default_rng(seed)
+    B = rng.normal(size=(n, n))
+    A = B @ B.T + n * np.eye(n)
+    As = sp.csr_matrix(A)
+    return CsrMatrix.from_scipy(As)
+
+
+def _extruded_operator(ncols=16, levels=5, ndof=2, aniso=100.0, seed=0):
+    """Anisotropic operator mimicking an extruded-mesh discretization.
+
+    Columns are strongly coupled vertically (factor ``aniso``), weakly
+    horizontally on a ring; dofs column-major: ((col*levels)+lev)*ndof+c.
+    """
+    n = ncols * levels * ndof
+    rows, cols, vals = [], [], []
+
+    def dof(c, l, k):
+        return (c * levels + l) * ndof + k
+
+    for c in range(ncols):
+        for l in range(levels):
+            for k in range(ndof):
+                i = dof(c, l, k)
+                diag = 2.0 * aniso + 2.0
+                if l > 0:
+                    rows.append(i), cols.append(dof(c, l - 1, k)), vals.append(-aniso)
+                if l < levels - 1:
+                    rows.append(i), cols.append(dof(c, l + 1, k)), vals.append(-aniso)
+                for cn in ((c - 1) % ncols, (c + 1) % ncols):
+                    rows.append(i), cols.append(dof(cn, l, k)), vals.append(-1.0)
+                rows.append(i), cols.append(i), vals.append(diag + 0.5)
+    return CsrMatrix.from_coo(rows, cols, vals, (n, n))
+
+
+class TestGmres:
+    def test_identity_converges_immediately(self):
+        A = CsrMatrix.identity(10)
+        b = np.arange(10.0)
+        res = gmres(A, b, tol=1e-12)
+        assert res.converged
+        assert np.allclose(res.x, b)
+
+    def test_laplace_converges(self):
+        A = _laplace_1d(50)
+        rng = np.random.default_rng(0)
+        xref = rng.normal(size=50)
+        b = A.matvec(xref)
+        res = gmres(A, b, tol=1e-10, restart=30, maxiter=500)
+        assert res.converged
+        assert np.allclose(res.x, xref, atol=1e-6)
+
+    def test_zero_rhs(self):
+        res = gmres(_laplace_1d(5), np.zeros(5))
+        assert res.converged and np.allclose(res.x, 0.0)
+
+    def test_residual_monotone_within_cycle(self):
+        A = _random_spd(30, seed=1)
+        b = np.ones(30)
+        res = gmres(A, b, tol=1e-12, restart=30, maxiter=30)
+        norms = np.array(res.residual_norms)
+        assert np.all(np.diff(norms) <= 1e-9 * norms[0])
+
+    def test_maxiter_respected(self):
+        A = _laplace_1d(200)
+        b = np.ones(200)
+        res = gmres(A, b, tol=1e-14, restart=10, maxiter=15)
+        assert res.iterations <= 15
+        assert not res.converged
+
+    def test_callable_operator(self):
+        A = _laplace_1d(20)
+        res = gmres(lambda v: A.matvec(v), np.ones(20), tol=1e-10, maxiter=100)
+        assert res.converged
+
+    def test_preconditioner_reduces_iterations(self):
+        A = _extruded_operator(ncols=12, levels=6, aniso=500.0)
+        b = np.random.default_rng(11).normal(size=A.shape[0])
+        plain = gmres(A, b, tol=1e-8, restart=40, maxiter=400)
+        pre = gmres(A, b, tol=1e-8, restart=40, maxiter=400, M=JacobiSmoother(A, iters=3))
+        assert pre.converged
+        assert pre.iterations < plain.iterations
+
+    @given(st.integers(5, 40))
+    @settings(max_examples=15, deadline=None)
+    def test_spd_always_converges_property(self, n):
+        A = _random_spd(n, seed=n)
+        b = np.ones(n)
+        res = gmres(A, b, tol=1e-10, restart=n, maxiter=5 * n)
+        assert res.converged
+        assert np.linalg.norm(A.matvec(res.x) - b) <= 1e-9 * np.linalg.norm(b)
+
+
+class TestSmoothers:
+    def test_jacobi_reduces_error(self):
+        A = _laplace_1d(30)
+        b = np.zeros(30)
+        x0 = np.ones(30)
+        sm = JacobiSmoother(A, omega=0.6, iters=10)
+        x = sm.smooth(A, b, x0)
+        assert np.linalg.norm(x) < np.linalg.norm(x0)
+
+    def test_jacobi_rejects_zero_diag(self):
+        A = CsrMatrix.from_coo([0, 1], [1, 0], [1.0, 1.0], (2, 2))
+        with pytest.raises(ValueError):
+            JacobiSmoother(A)
+
+    def test_jacobi_bad_omega(self):
+        with pytest.raises(ValueError):
+            JacobiSmoother(_laplace_1d(4), omega=1.5)
+
+    def test_vertical_line_exact_on_block_diagonal(self):
+        """With no horizontal coupling one sweep solves exactly."""
+        A = _extruded_operator(ncols=4, levels=4, aniso=10.0)
+        # strip horizontal couplings -> block diagonal
+        rows = np.repeat(np.arange(A.shape[0]), np.diff(A.indptr))
+        blk = 4 * 2
+        keep = rows // blk == A.indices // blk
+        Abd = CsrMatrix.from_coo(rows[keep], A.indices[keep], A.data[keep], A.shape)
+        sm = VerticalLineSmoother(Abd, blk, omega=1.0, iters=1)
+        rng = np.random.default_rng(2)
+        xref = rng.normal(size=A.shape[0])
+        b = Abd.matvec(xref)
+        x = sm.smooth(Abd, b, np.zeros_like(b))
+        assert np.allclose(x, xref, atol=1e-10)
+
+    def test_vertical_line_beats_jacobi_on_anisotropy(self):
+        A = _extruded_operator(ncols=10, levels=8, aniso=1000.0)
+        b = np.zeros(A.shape[0])
+        rng = np.random.default_rng(3)
+        x0 = rng.normal(size=A.shape[0])
+        xj = JacobiSmoother(A, omega=0.7, iters=3).smooth(A, b, x0)
+        xv = VerticalLineSmoother(A, 8 * 2, omega=0.95, iters=3).smooth(A, b, x0)
+        assert np.linalg.norm(xv) < 0.5 * np.linalg.norm(xj)
+
+    def test_vertical_line_size_check(self):
+        with pytest.raises(ValueError):
+            VerticalLineSmoother(_laplace_1d(10), 3)
+
+    def test_ilu0_exact_for_triangular_pattern(self):
+        """ILU(0) on a dense-pattern small matrix == full LU (no fill)."""
+        A = _random_spd(8, seed=4)
+        ilu = Ilu0Preconditioner(A)
+        rng = np.random.default_rng(4)
+        r = rng.normal(size=8)
+        # dense pattern -> ILU(0) is exact LU
+        assert np.allclose(A.matvec(ilu.apply(r)), r, atol=1e-8)
+
+    def test_ilu0_preconditions_gmres(self):
+        A = _extruded_operator(ncols=8, levels=4, aniso=50.0)
+        b = np.random.default_rng(12).normal(size=A.shape[0])
+        plain = gmres(A, b, tol=1e-8, maxiter=300)
+        pre = gmres(A, b, tol=1e-8, maxiter=300, M=Ilu0Preconditioner(A))
+        assert pre.converged and pre.iterations < plain.iterations
+
+    def test_identity_preconditioner(self):
+        p = IdentityPreconditioner()
+        r = np.arange(4.0)
+        assert np.array_equal(p.apply(r), r)
+
+
+class TestMultigrid:
+    def test_hierarchy_structure(self):
+        levels = 8
+        A = _extruded_operator(ncols=32, levels=levels, aniso=200.0)
+        mg = build_mdsc_amg(A, num_columns=32, levels=levels, coarse_size=50)
+        desc = mg.describe()
+        kinds = [k for k, _, _ in desc]
+        assert kinds[0] == "vertical"
+        assert kinds[-1] == "coarse"
+        sizes = [n for _, n, _ in desc]
+        assert all(sizes[i] > sizes[i + 1] for i in range(len(sizes) - 1))
+
+    def test_vcycle_preconditions_gmres(self):
+        levels = 8
+        A = _extruded_operator(ncols=24, levels=levels, aniso=500.0)
+        b = np.ones(A.shape[0])
+        mg = build_mdsc_amg(A, num_columns=24, levels=levels, coarse_size=40)
+        plain = gmres(A, b, tol=1e-8, restart=60, maxiter=600)
+        pre = gmres(A, b, tol=1e-8, restart=60, maxiter=600, M=mg)
+        assert pre.converged
+        assert pre.iterations < max(10, plain.iterations // 2)
+
+    def test_vcycle_is_linear_operator(self):
+        A = _extruded_operator(ncols=8, levels=4)
+        mg = build_mdsc_amg(A, num_columns=8, levels=4, coarse_size=20)
+        rng = np.random.default_rng(5)
+        r1, r2 = rng.normal(size=A.shape[0]), rng.normal(size=A.shape[0])
+        lhs = mg.apply(2.0 * r1 - 3.0 * r2)
+        rhs = 2.0 * mg.apply(r1) - 3.0 * mg.apply(r2)
+        assert np.allclose(lhs, rhs, atol=1e-9)
+
+    def test_empty_hierarchy_rejected(self):
+        from repro.solvers.multigrid import SemicoarseningMultigrid
+
+        with pytest.raises(ValueError):
+            SemicoarseningMultigrid([])
+
+
+class TestNewton:
+    def test_scalarish_quadratic(self):
+        """Solve x^2 - 4 = 0 componentwise (diagonal Jacobian)."""
+
+        def F(x):
+            return x * x - 4.0
+
+        def J(x):
+            return CsrMatrix.from_coo(np.arange(3), np.arange(3), 2.0 * x, (3, 3))
+
+        res = newton_solve(F, J, np.array([1.0, 3.0, 10.0]), max_steps=30, tol=1e-12)
+        assert res.converged
+        assert np.allclose(res.x, 2.0)
+
+    def test_linear_system_one_step(self):
+        A = _random_spd(10, seed=6)
+        xref = np.arange(10.0)
+        b = A.matvec(xref)
+        res = newton_solve(lambda x: A.matvec(x) - b, lambda x: A, np.zeros(10), max_steps=3, tol=1e-10, linear_tol=1e-12)
+        assert res.converged
+        assert res.iterations <= 2
+        assert np.allclose(res.x, xref, atol=1e-6)
+
+    def test_damping_engages_on_hard_start(self):
+        # f(x) = atan-like flat function where full steps overshoot
+        def F(x):
+            return np.arctan(x)
+
+        def J(x):
+            d = 1.0 / (1.0 + x * x)
+            return CsrMatrix.from_coo([0], [0], d, (1, 1))
+
+        res = newton_solve(F, J, np.array([20.0]), max_steps=40, tol=1e-10)
+        assert res.converged
+        assert min(res.step_lengths) < 1.0  # backtracking happened
+
+    def test_residual_history_decreases(self):
+        A = _random_spd(8, seed=7)
+        b = A.matvec(np.ones(8))
+        res = newton_solve(lambda x: A.matvec(x) - b, lambda x: A, np.zeros(8), max_steps=5, tol=1e-12)
+        norms = res.residual_norms
+        assert norms[-1] < norms[0]
+
+    def test_respects_max_steps(self):
+        def F(x):
+            return np.array([np.exp(x[0]) + 1.0])  # no root
+
+        def J(x):
+            return CsrMatrix.from_coo([0], [0], [np.exp(x[0])], (1, 1))
+
+        res = newton_solve(F, J, np.array([0.0]), max_steps=4, tol=1e-12)
+        assert not res.converged
+        assert res.iterations == 4
+
+    def test_preconditioner_hook_called(self):
+        calls = []
+        A = _random_spd(6, seed=8)
+        b = A.matvec(np.ones(6))
+
+        def precond(J):
+            calls.append(1)
+            return JacobiSmoother(J, iters=2)
+
+        res = newton_solve(
+            lambda x: A.matvec(x) - b, lambda x: A, np.zeros(6), max_steps=3, preconditioner_fn=precond
+        )
+        assert res.converged and len(calls) >= 1
+
+
+class TestFailureInjection:
+    def test_newton_rejects_nonfinite_residual(self):
+        def F(x):
+            return np.array([np.nan])
+
+        def J(x):
+            return CsrMatrix.identity(1)
+
+        with pytest.raises(FloatingPointError):
+            newton_solve(F, J, np.array([1.0]))
+
+    def test_gmres_with_singular_matrix_reports_nonconvergence(self):
+        # rank-deficient system with incompatible rhs
+        A = CsrMatrix.from_coo([0, 1], [0, 1], [1.0, 0.0], (2, 2))
+        b = np.array([1.0, 1.0])
+        res = gmres(A, b, tol=1e-12, maxiter=20)
+        assert not res.converged
+
+    def test_vertical_smoother_guards_zero_block(self):
+        # a block that is entirely zero must not produce NaNs
+        A = CsrMatrix.from_coo([0, 1, 2, 3], [0, 1, 2, 3], [1.0, 1.0, 0.0, 0.0], (4, 4))
+        sm = VerticalLineSmoother(A, 2, iters=1)
+        out = sm.apply(np.ones(4))
+        assert np.all(np.isfinite(out))
+
+    def test_ilu0_zero_pivot_detected(self):
+        A = CsrMatrix.from_coo([0, 0, 1, 1], [0, 1, 0, 1], [0.0, 1.0, 1.0, 1.0], (2, 2))
+        with pytest.raises((ZeroDivisionError, ValueError)):
+            Ilu0Preconditioner(A)

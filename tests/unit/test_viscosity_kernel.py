@@ -1,0 +1,97 @@
+"""Tests for the ViscosityFO kernel (the 'several kernels' extension)."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff.sfad import SFad
+from repro.core.viscosity_kernel import ViscosityFOKernel, make_viscosity_fields
+from repro.gpusim import A100, MI250X_GCD, GPUSimulator, ProblemSize, record_kernel_trace
+from repro.kokkos.space import HostSerial
+from repro.perf import theoretical_minimum
+from repro.physics.viscosity import effective_strain_rate_squared, glen_viscosity
+
+
+def _fill(f, seed=0):
+    rng = np.random.default_rng(seed)
+    if f.scalar.is_fad:
+        f.Ugrad.data.val[...] = rng.normal(size=f.Ugrad.shape) * 1e-3
+        f.Ugrad.data.dx[...] = rng.normal(size=f.Ugrad.shape + (16,)) * 1e-4
+    else:
+        f.Ugrad.data[...] = rng.normal(size=f.Ugrad.shape) * 1e-3
+    f.flowFactor.data[...] = rng.uniform(5e-8, 2e-7, f.flowFactor.shape)
+    return f
+
+
+class TestNumerics:
+    def test_matches_vectorized_evaluator(self):
+        f = _fill(make_viscosity_fields(8))
+        ViscosityFOKernel(f)(slice(None))
+        g = f.Ugrad.data
+        ref = glen_viscosity(
+            effective_strain_rate_squared(
+                g[:, :, 0, 0], g[:, :, 0, 1], g[:, :, 0, 2],
+                g[:, :, 1, 0], g[:, :, 1, 1], g[:, :, 1, 2],
+            ),
+            flow_factor=f.flowFactor.data,
+        )
+        assert np.allclose(f.muLandIce.data, ref, rtol=1e-12)
+
+    def test_vectorized_equals_serial(self):
+        fv = _fill(make_viscosity_fields(4), seed=1)
+        fs = _fill(make_viscosity_fields(4), seed=1)
+        ViscosityFOKernel(fv)(slice(None))
+        k = ViscosityFOKernel(fs)
+        for c in range(4):
+            k(c)
+        assert np.allclose(fv.muLandIce.data, fs.muLandIce.data, rtol=1e-12)
+
+    def test_jacobian_pass_derivatives_match_fd(self):
+        f = _fill(make_viscosity_fields(2, mode="jacobian"), seed=2)
+        ViscosityFOKernel(f)(slice(None))
+        mu = f.muLandIce.data
+        # directional FD through the value path
+        eps = 1e-7
+        rng = np.random.default_rng(3)
+        d = rng.normal(size=16)
+        fp = make_viscosity_fields(2)
+        fm = make_viscosity_fields(2)
+        fp.Ugrad.data[...] = f.Ugrad.data.val + eps * np.einsum("cqkdf,f->cqkd", f.Ugrad.data.dx, d)
+        fm.Ugrad.data[...] = f.Ugrad.data.val - eps * np.einsum("cqkdf,f->cqkd", f.Ugrad.data.dx, d)
+        fp.flowFactor.data[...] = f.flowFactor.data
+        fm.flowFactor.data[...] = f.flowFactor.data
+        ViscosityFOKernel(fp)(slice(None))
+        ViscosityFOKernel(fm)(slice(None))
+        fd = (fp.muLandIce.data - fm.muLandIce.data) / (2 * eps)
+        ad = np.einsum("cqf,f->cq", mu.dx, d)
+        assert np.allclose(ad, fd, rtol=1e-4, atol=1e-2 * np.abs(fd).max())
+
+    def test_bad_mode(self):
+        with pytest.raises(ValueError):
+            make_viscosity_fields(2, mode="gradient")
+
+
+class TestSimulated:
+    def test_streaming_kernel_hits_application_bound(self):
+        """No reuse -> the streaming kernel sits on the wall on both GPUs."""
+        for spec in (A100, MI250X_GCD):
+            p = GPUSimulator(spec).run("viscosity-residual", ProblemSize(256_000))
+            th = theoretical_minimum("viscosity-residual", 256_000)
+            assert th.total_bytes / p.hbm_bytes > 0.99
+
+    def test_trace_has_no_output_reads(self):
+        prog = record_kernel_trace("viscosity-residual")
+        assert prog.output_views == ("muLandIce",)
+        reads = [s for s, w in zip(prog.slot_trace, prog.writes) if not w]
+        assert all(s.view != "muLandIce" for s in reads)
+
+    def test_jacobian_pass_moves_more(self):
+        tr = theoretical_minimum("viscosity-residual", 1000)
+        tj = theoretical_minimum("viscosity-jacobian", 1000)
+        # Ugrad and mu are Fad; flowFactor stays double
+        assert 10.0 < tj.total_bytes / tr.total_bytes <= 17.0
+
+    def test_much_cheaper_than_stokes_kernel(self):
+        sim = GPUSimulator(A100)
+        v = sim.run("viscosity-residual", ProblemSize(256_000))
+        r = sim.run("optimized-residual", ProblemSize(256_000))
+        assert v.time_s < r.time_s

