@@ -1,0 +1,155 @@
+"""Solver hot path: Newton steps/sec and phase breakdown, fused vs unfused.
+
+The fused assembly path extracts residual and Jacobian from a single
+SFad workset sweep and fills a cached sparsity plan (symbolic assembly
+done once), so each Newton step pays one DAG evaluation plus a pure
+numeric scatter.  This bench runs the small synthetic Antarctica both
+ways and reports:
+
+- Newton steps per second (end-to-end ``StokesVelocityProblem.solve``),
+- the per-phase wall-time split (evaluate / scatter / preconditioner /
+  gmres) from ``VelocitySolution.diagnostics["phase_seconds"]``,
+- the evaluator-DAG sweep counts per mode, which pin the fusion
+  invariant: one jacobian sweep per accepted step, one residual sweep
+  per line-search trial (plus the initial residual).
+
+Artifacts land in ``benchmarks/results/solver_hotpath.{json,csv}``.
+Run standalone for a quick smoke (well under a minute)::
+
+    PYTHONPATH=src python benchmarks/bench_solver_hotpath.py
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import replace
+from pathlib import Path
+
+from repro.app.antarctica import AntarcticaTest
+from repro.app.config import AntarcticaConfig, VelocityConfig
+from repro.perf.report import format_table, write_csv
+
+#: small enough that both variants finish in seconds, large enough that
+#: the assembly/solve phases dominate interpreter overhead
+SMOKE_CONFIG = AntarcticaConfig(
+    resolution_km=400.0,
+    num_layers=4,
+    velocity=VelocityConfig(),
+)
+
+PHASES = ("evaluate", "scatter", "preconditioner", "gmres")
+
+
+def run_hotpath(config: AntarcticaConfig = SMOKE_CONFIG) -> dict:
+    """Solve the configured Antarctica with and without fused assembly."""
+    out = {}
+    # warmup: first-touch BLAS/ufunc initialization otherwise lands in
+    # whichever variant runs first and skews the phase split
+    AntarcticaTest.build(
+        replace(config, resolution_km=2.0 * config.resolution_km, num_layers=2)
+    ).run()
+    for fused in (True, False):
+        cfg = replace(config, velocity=replace(config.velocity, fused_assembly=fused))
+        test = AntarcticaTest.build(cfg)
+        t0 = time.perf_counter()
+        sol = test.run()
+        wall = time.perf_counter() - t0
+        d = sol.diagnostics
+        out["fused" if fused else "unfused"] = {
+            "wall_seconds": wall,
+            "solve_seconds": d["solve_seconds"],
+            "newton_steps": sol.newton.iterations,
+            "newton_steps_per_s": d["newton_steps_per_s"],
+            "phase_seconds": d["phase_seconds"],
+            "eval_sweeps": d["eval_sweeps"],
+            "mean_velocity": sol.mean_velocity,
+        }
+    out["speedup"] = out["unfused"]["solve_seconds"] / out["fused"]["solve_seconds"]
+    return out
+
+
+def _rows(report: dict) -> list[list]:
+    rows = []
+    for variant in ("fused", "unfused"):
+        r = report[variant]
+        rows.append(
+            [
+                variant,
+                r["solve_seconds"],
+                r["newton_steps_per_s"],
+                *[r["phase_seconds"][p] for p in PHASES],
+                r["eval_sweeps"]["residual"],
+                r["eval_sweeps"]["jacobian"],
+            ]
+        )
+    return rows
+
+
+HEADERS = [
+    "Variant",
+    "Solve [s]",
+    "Steps/s",
+    "Evaluate [s]",
+    "Scatter [s]",
+    "Precond [s]",
+    "GMRES [s]",
+    "Res sweeps",
+    "Jac sweeps",
+]
+
+
+def test_solver_hotpath_report(print_once, results_dir, benchmark):
+    report = run_hotpath()
+    rows = _rows(report)
+    print_once(
+        "solver_hotpath",
+        format_table(
+            HEADERS,
+            rows,
+            title="Solver hot path: fused vs unfused assembly "
+            f"(speedup {report['speedup']:.2f}x)",
+        ),
+    )
+    write_csv(results_dir / "solver_hotpath.csv", HEADERS, rows)
+    (results_dir / "solver_hotpath.json").write_text(json.dumps(report, indent=2) + "\n")
+
+    fused, unfused = report["fused"], report["unfused"]
+    # both variants converge to the same physics
+    assert abs(fused["mean_velocity"] - unfused["mean_velocity"]) <= 1.0e-8 * abs(
+        unfused["mean_velocity"]
+    )
+    # fusion removes the per-step residual-mode sweep: the fused run does
+    # strictly fewer residual sweeps while jacobian sweeps stay put
+    assert fused["eval_sweeps"]["jacobian"] == unfused["eval_sweeps"]["jacobian"]
+    assert fused["eval_sweeps"]["residual"] < unfused["eval_sweeps"]["residual"]
+    # phase instrumentation covers the bulk of the solve wall time
+    for variant in (fused, unfused):
+        phase_sum = sum(variant["phase_seconds"].values())
+        assert 0.0 < phase_sum <= variant["solve_seconds"] * 1.05
+
+    # the benchmarked operation: one fused end-to-end solve
+    test = AntarcticaTest.build(SMOKE_CONFIG)
+    benchmark(test.problem.solve)
+
+
+def main() -> int:
+    results_dir = Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    report = run_hotpath()
+    print(
+        format_table(
+            HEADERS,
+            _rows(report),
+            title="Solver hot path: fused vs unfused assembly "
+            f"(speedup {report['speedup']:.2f}x)",
+        )
+    )
+    write_csv(results_dir / "solver_hotpath.csv", HEADERS, _rows(report))
+    (results_dir / "solver_hotpath.json").write_text(json.dumps(report, indent=2) + "\n")
+    print(f"artifacts: {results_dir / 'solver_hotpath.json'}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

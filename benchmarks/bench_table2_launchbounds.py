@@ -36,17 +36,27 @@ PAPER_BEST_SPEEDUP = {"jacobian": 1.54, "residual": 1.17}
 def _sweep(sim, mode, problem):
     rows = []
     profiles = {}
+    skipped = []
     for lb in TABLE2_LAUNCH_CONFIGS:
         eff = lb if lb.explicit else default_launch_bounds(mode)
+        if eff.max_threads > sim.spec.max_threads_per_cu:
+            # unlaunchable on real hardware (the simulator now rejects
+            # it too); flag instead of reporting a fictitious timing
+            skipped.append(str(lb))
+            continue
         p = sim.run(f"optimized-{mode}", problem, launch_bounds=eff)
         profiles[str(lb)] = p
     base_t = profiles["default"].time_s
     for lb in TABLE2_LAUNCH_CONFIGS:
-        p = profiles[str(lb)]
+        key = str(lb)
+        if key in skipped:
+            rows.append([mode.capitalize(), key, "unlaunchable", "-", "-", "skipped"])
+            continue
+        p = profiles[key]
         rows.append(
             [
                 mode.capitalize(),
-                str(lb),
+                key,
                 p.time_s,
                 p.arch_vgprs,
                 p.accum_vgprs,

@@ -25,6 +25,10 @@ class VelocityConfig:
     #: semicoarsening hierarchy), "jacobi", or "none"
     preconditioner: str = "mdsc"
     mg_coarse_size: int = 400
+    #: fuse residual+Jacobian extraction into one SFad sweep per Newton
+    #: step (the paper's loop-fusion theme applied host-side); False
+    #: falls back to separate residual/jacobian evaluations
+    fused_assembly: bool = True
 
     def __post_init__(self):
         if self.kernel_impl not in ("baseline", "optimized"):

@@ -11,6 +11,7 @@ from repro.fem.discretization import BasisData, compute_basis_data, compute_face
 from repro.fem.dofmap import DofMap
 from repro.fem.sparse import CsrMatrix
 from repro.fem.assembly import (
+    AssemblyPlan,
     build_sparsity,
     assemble_matrix,
     assemble_vector,
@@ -30,6 +31,7 @@ __all__ = [
     "compute_face_basis_data",
     "DofMap",
     "CsrMatrix",
+    "AssemblyPlan",
     "build_sparsity",
     "assemble_matrix",
     "assemble_vector",

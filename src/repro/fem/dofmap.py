@@ -27,6 +27,7 @@ class DofMap:
         self.elems = np.asarray(self.elems, dtype=np.int64)
         if self.elems.size and self.elems.max() >= self.num_nodes:
             raise ValueError("connectivity references nodes beyond num_nodes")
+        self._elem_dofs = None  # built lazily; connectivity is immutable
 
     @property
     def num_dofs(self) -> int:
@@ -51,12 +52,16 @@ class DofMap:
 
         Local ordering is node-major: ``(node0, c0), (node0, c1), (node1,
         c0) ...`` matching the 16-derivative SFad layout of the Jacobian
-        kernel (8 nodes x 2 components).
+        kernel (8 nodes x 2 components).  The array is built once and
+        cached: ``gather`` runs on every evaluator-DAG sweep, so
+        rebuilding the ``(nc, k)`` map per call is pure hot-path waste.
         """
-        nd = self.ndof_per_node
-        base = self.elems[:, :, None] * nd  # (nc, nn, 1)
-        comps = np.arange(nd)[None, None, :]
-        return (base + comps).reshape(len(self.elems), -1)
+        if self._elem_dofs is None:
+            nd = self.ndof_per_node
+            base = self.elems[:, :, None] * nd  # (nc, nn, 1)
+            comps = np.arange(nd)[None, None, :]
+            self._elem_dofs = (base + comps).reshape(len(self.elems), -1)
+        return self._elem_dofs
 
     def gather(self, solution: np.ndarray) -> np.ndarray:
         """Per-element local solution blocks, shape (nc, nn * ndof)."""

@@ -12,16 +12,23 @@ import numpy as np
 __all__ = ["CsrMatrix"]
 
 
+try:  # fast SpMV backend; the numpy path below is the fallback
+    import scipy.sparse as _sp
+except ImportError:  # pragma: no cover - scipy is part of the toolchain
+    _sp = None
+
+
 class CsrMatrix:
     """Square-or-rectangular CSR matrix over float64."""
 
-    __slots__ = ("shape", "indptr", "indices", "data")
+    __slots__ = ("shape", "indptr", "indices", "data", "_spmv")
 
     def __init__(self, shape: tuple[int, int], indptr, indices, data):
         self.shape = (int(shape[0]), int(shape[1]))
         self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
         self.indices = np.ascontiguousarray(indices, dtype=np.int64)
         self.data = np.ascontiguousarray(data, dtype=np.float64)
+        self._spmv = None  # lazily-built scipy handle for the matvec hot path
         if len(self.indptr) != self.shape[0] + 1:
             raise ValueError("indptr length must be nrows + 1")
         if self.indptr[-1] != len(self.indices) or len(self.indices) != len(self.data):
@@ -74,10 +81,23 @@ class CsrMatrix:
         return len(self.data)
 
     def matvec(self, x: np.ndarray) -> np.ndarray:
-        """y = A @ x (vectorized via segmented reduction)."""
+        """y = A @ x.
+
+        GMRES and the multigrid smoothers apply the same operator
+        hundreds of times per Newton step, so the first call builds a
+        scipy CSR handle over the (shared) buffers and every subsequent
+        call runs the compiled SpMV; without scipy a vectorized
+        segmented reduction is used.
+        """
         x = np.asarray(x, dtype=np.float64)
         if x.shape != (self.shape[1],):
             raise ValueError(f"matvec expects a vector of length {self.shape[1]}")
+        if _sp is not None:
+            if self._spmv is None:
+                self._spmv = _sp.csr_matrix(
+                    (self.data, self.indices, self.indptr), shape=self.shape
+                )
+            return self._spmv @ x
         prod = self.data * x[self.indices]
         y = np.zeros(self.shape[0])
         nonempty = self.indptr[:-1] != self.indptr[1:]

@@ -105,7 +105,12 @@ class DataMovement:
     l2_hit_fraction: float
     rmw_fraction: float
     num_warps: int
-    #: rocprof-style request counts (64B read/write requests)
+    #: rocprof-style request counts (64B read/write requests).  Each warp
+    #: issues a whole number of requests (ceiling of its byte traffic /
+    #: 64), and the reported byte totals are defined as 64 bytes per
+    #: request -- so :meth:`rocprof_formula_bytes` reconciles exactly
+    #: with :attr:`total_bytes`, as the paper's appendix formula does
+    #: against the hardware counters.
     read_requests: int
     write_requests: int
 
@@ -161,17 +166,23 @@ def measure_data_movement(
     l2_hits = float(np.sum((1.0 - p1) * p2))
 
     num_warps = int(np.ceil(num_cells / spec.warp_size))
-    total_read = read_b * num_warps
-    total_write = write_b * num_warps
+    # each warp issues whole 64 B requests: ceiling per warp (with a tiny
+    # slack so exact multiples of 64 do not round up on float fuzz), then
+    # bytes are defined as 64 B per request -- truncating the totals left
+    # the appendix TCC_EA formula short of the modeled bytes
+    read_requests_per_warp = int(np.ceil(read_b / 64.0 - 1.0e-9)) if read_b > 0.0 else 0
+    write_requests_per_warp = int(np.ceil(write_b / 64.0 - 1.0e-9)) if write_b > 0.0 else 0
+    read_requests = read_requests_per_warp * num_warps
+    write_requests = write_requests_per_warp * num_warps
     return DataMovement(
-        read_bytes=total_read,
-        write_bytes=total_write,
+        read_bytes=64.0 * read_requests,
+        write_bytes=64.0 * write_requests,
         per_warp_read_bytes=read_b,
         per_warp_write_bytes=write_b,
         l1_hit_fraction=l1_hits / n_reuse if n_reuse else 0.0,
         l2_hit_fraction=l2_hits / n_reuse if n_reuse else 0.0,
         rmw_fraction=a.rmw_fraction,
         num_warps=num_warps,
-        read_requests=int(total_read / 64.0),
-        write_requests=int(total_write / 64.0),
+        read_requests=read_requests,
+        write_requests=write_requests,
     )

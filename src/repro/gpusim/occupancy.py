@@ -29,6 +29,14 @@ def compute_occupancy(spec: GPUSpec, alloc: Allocation, num_cells: int) -> Occup
     if num_cells <= 0:
         raise ValueError("num_cells must be positive")
     tpb = alloc.threads_per_block
+    if tpb > spec.max_threads_per_cu:
+        # silently clamping would simulate a launch that real hardware
+        # rejects outright (CUDA/HIP: invalid configuration argument)
+        raise ValueError(
+            f"threads_per_block={tpb} exceeds {spec.name} limit of "
+            f"{spec.max_threads_per_cu} threads per CU; this launch "
+            "configuration cannot run on real hardware"
+        )
     warps_per_block = max(1, math.ceil(tpb / spec.warp_size))
 
     # blocks resident per CU, limited by registers (via max_warps) and size

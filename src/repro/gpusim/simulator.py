@@ -60,6 +60,13 @@ class KernelProfile:
     data_movement: DataMovement
     allocation: Allocation
     occupancy: Occupancy
+    #: peak HBM bandwidth of the simulated GPU [bytes/s]; required so
+    #: that :attr:`bandwidth_fraction_of_peak` is always well defined
+    peak_bandwidth: float
+
+    def __post_init__(self):
+        if self.peak_bandwidth <= 0.0:
+            raise ValueError("peak_bandwidth must be positive (bytes/s of the simulated GPU)")
 
     @property
     def arithmetic_intensity(self) -> float:
@@ -77,9 +84,6 @@ class KernelProfile:
     @property
     def gbytes_moved(self) -> float:
         return self.hbm_bytes / 1.0e9
-
-    #: peak HBM bandwidth of the simulated GPU [bytes/s]
-    peak_bandwidth: float = 0.0
 
     @property
     def bandwidth_fraction_of_peak(self) -> float:

@@ -106,10 +106,19 @@ class Evaluator:
 
 
 class FieldManager:
-    """Topologically-ordered evaluator execution (Phalanx analogue)."""
+    """Topologically-ordered evaluator execution (Phalanx analogue).
+
+    ``num_sweeps`` counts per-workset DAG executions by mode -- the unit
+    of cost the paper's loop-fusion optimization reduces.  A
+    jacobian-mode sweep produces *both* the residual (SFad value
+    component) and the Jacobian (derivative components), so a fused
+    solver needs exactly one sweep per workset per Newton step plus one
+    residual-mode sweep per workset per line-search trial.
+    """
 
     def __init__(self, evaluators: list[Evaluator]):
         self.evaluators = self._toposort(evaluators)
+        self.num_sweeps = {"residual": 0, "jacobian": 0}
 
     @staticmethod
     def _toposort(evaluators: list[Evaluator]) -> list[Evaluator]:
@@ -141,6 +150,7 @@ class FieldManager:
         return order
 
     def evaluate(self, ws: Workset) -> Workset:
+        self.num_sweeps[ws.mode] += 1
         for ev in self.evaluators:
             for f in ev.requires:
                 if f not in ws.fields and f not in ("__workset__",):

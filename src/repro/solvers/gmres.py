@@ -71,8 +71,9 @@ def gmres(
     rnorm = np.linalg.norm(r)
     norms = [float(rnorm)]
     total_it = 0
+    breakdown = False
 
-    while rnorm > target and total_it < maxiter:
+    while rnorm > target and total_it < maxiter and not breakdown:
         m = min(restart, maxiter - total_it)
         V = np.zeros((m + 1, n))
         Z = np.zeros((m, n))  # preconditioned directions (flexible storage)
@@ -94,6 +95,14 @@ def gmres(
             H[k + 1, k] = np.linalg.norm(w)
             if H[k + 1, k] > 1.0e-14 * max(1.0, abs(H[k, k])):
                 V[k + 1] = w / H[k + 1, k]
+            else:
+                # lucky breakdown: the Krylov subspace is (preconditioned-)
+                # A-invariant, so the least-squares solution over it is the
+                # best GMRES can ever reach from this right-hand side --
+                # iterating further would orthogonalize against zero
+                # vectors and waste matvecs.  Finish this column's
+                # rotations, solve, and stop.
+                breakdown = True
 
             # apply stored Givens rotations to the new column
             for i in range(k):
@@ -115,15 +124,17 @@ def gmres(
             k_used = k + 1
             rnorm = abs(g[k + 1])
             norms.append(float(rnorm))
-            if rnorm <= target:
-                break
-            if H[k, k] == 0.0:  # breakdown: solution found in this subspace
+            if rnorm <= target or breakdown:
                 break
 
-        # solve the small triangular system and update x
+        # solve the small triangular system and update x; diagonal
+        # entries at rounding level (singular projection after a
+        # breakdown on a singular operator) contribute nothing and would
+        # otherwise blow up the back-substitution
         y = np.zeros(k_used)
+        hmax = np.max(np.abs(np.diagonal(H)[:k_used])) if k_used else 0.0
         for i in range(k_used - 1, -1, -1):
-            if H[i, i] == 0.0:  # exact breakdown (singular projection)
+            if abs(H[i, i]) <= 1.0e-12 * hmax:
                 y[i] = 0.0
                 continue
             y[i] = (g[i] - H[i, i + 1 : k_used] @ y[i + 1 : k_used]) / H[i, i]

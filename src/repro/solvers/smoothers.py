@@ -89,7 +89,13 @@ class VerticalLineSmoother:
         diag = np.einsum("bii->bi", blocks)
         bad = np.abs(diag) < 1.0e-300
         diag[bad] = 1.0
-        self.lu_blocks = blocks  # dense; solved with batched np.linalg.solve
+        self.lu_blocks = blocks
+        # invert once: the smoother is applied hundreds of times per
+        # Newton step inside GMRES, and re-factorizing the same blocks
+        # per application (batched np.linalg.solve) dominated the solve.
+        # The blocks are small, diagonally dominant vertical couplings,
+        # so applying the explicit inverse is numerically safe here.
+        self.inv_blocks = np.linalg.inv(blocks)
 
     def apply(self, r: np.ndarray) -> np.ndarray:
         return self.smooth(self.A, r, np.zeros_like(r), self.iters)
@@ -99,7 +105,7 @@ class VerticalLineSmoother:
         for _ in range(self.iters if iters is None else iters):
             r = b - A.matvec(x)
             rb = r.reshape(self.nblocks, self.blk)
-            dx = np.linalg.solve(self.lu_blocks, rb[..., None])[..., 0]
+            dx = np.matmul(self.inv_blocks, rb[..., None])[..., 0]
             x += self.omega * dx.ravel()
         return x
 

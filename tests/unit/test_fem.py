@@ -20,6 +20,7 @@ from repro.fem import (
     assemble_matrix,
     assemble_vector,
     apply_dirichlet,
+    AssemblyPlan,
 )
 
 
@@ -320,6 +321,59 @@ class TestAssembly:
         A = assemble_matrix(dm, np.ones((1, 2, 2)))
         with pytest.raises(ValueError):
             apply_dirichlet(A, np.zeros(2), np.array([9]))
+
+    def test_plan_matrix_matches_one_shot(self):
+        """Plan fills reproduce from_coo assembly entry for entry."""
+        rng = np.random.default_rng(0)
+        elems = np.array([[0, 1, 2], [1, 2, 3], [2, 3, 4]])
+        dm = DofMap(5, 2, elems)
+        plan = AssemblyPlan(dm)
+        k = dm.dofs_per_elem
+        for trial in range(3):  # repeated numeric fills, same structure
+            local = rng.normal(size=(3, k, k))
+            A_plan = plan.assemble_matrix(local)
+            A_ref = assemble_matrix(dm, local)
+            assert np.allclose(A_plan.toarray(), A_ref.toarray(), atol=1e-14)
+            assert np.array_equal(A_plan.indptr, A_ref.indptr)
+            assert np.array_equal(A_plan.indices, A_ref.indices)
+        assert plan.num_matrix_fills == 3
+
+    def test_plan_vector_matches_one_shot(self):
+        rng = np.random.default_rng(1)
+        elems = np.array([[0, 1], [1, 2], [2, 3]])
+        dm = DofMap(4, 1, elems)
+        plan = AssemblyPlan(dm)
+        local = rng.normal(size=(3, 2))
+        assert np.allclose(plan.assemble_vector(local), assemble_vector(dm, local))
+
+    def test_plan_dirichlet_matches_apply_dirichlet(self):
+        """The fused BC masks equal the legacy row-replacement pass."""
+        rng = np.random.default_rng(2)
+        elems = np.array([[0, 1, 2], [2, 3, 4], [4, 5, 0]])
+        dm = DofMap(6, 2, elems)
+        bc = np.array([0, 1, 7])
+        plan = AssemblyPlan(dm, bc_dofs=bc)
+        local = rng.normal(size=(3, 6, 6))
+        A_plan = plan.assemble_matrix(local, diag_scale=3.5)
+        A_ref, _ = apply_dirichlet(
+            assemble_matrix(dm, local), np.zeros(12), bc, diag_scale=3.5
+        )
+        assert np.allclose(A_plan.toarray(), A_ref.toarray(), atol=1e-14)
+
+    def test_plan_validation(self):
+        dm = DofMap(3, 1, np.array([[0, 1], [1, 2]]))
+        plan = AssemblyPlan(dm, bc_dofs=np.array([0]))
+        with pytest.raises(ValueError):
+            plan.assemble_matrix(np.zeros((1, 2, 2)))  # wrong cell count
+        with pytest.raises(ValueError):
+            plan.assemble_vector(np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            plan.assemble_matrix(np.zeros((2, 2, 2)), diag_scale=-1.0)
+        with pytest.raises(ValueError):
+            AssemblyPlan(dm, bc_dofs=np.array([99]))
+        no_bc = AssemblyPlan(dm)
+        with pytest.raises(ValueError):
+            no_bc.assemble_matrix(np.zeros((2, 2, 2)), diag_scale=1.0)
 
     def test_dirichlet_solution_exact(self):
         """Solve 1D Laplace with Dirichlet ends; expect linear profile."""

@@ -164,6 +164,22 @@ class TestDataMovement:
         dm = self._dm("baseline-jacobian", MI250X_GCD)
         assert dm.rocprof_formula_bytes() == pytest.approx(dm.total_bytes, rel=0.01)
 
+    @pytest.mark.parametrize("spec", [A100, MI250X_GCD], ids=lambda s: s.name)
+    @pytest.mark.parametrize(
+        "variant",
+        ["baseline-jacobian", "optimized-jacobian", "baseline-residual", "optimized-residual"],
+    )
+    def test_rocprof_formula_reconciles_exactly(self, spec, variant):
+        """Requests round up per warp and bytes are 64 B per request, so
+        the appendix TCC_EA formula reproduces the modeled bytes exactly
+        (truncating ``int(total/64)`` used to lose up to 126 B)."""
+        dm = self._dm(variant, spec, ncells=100_003)  # non-round warp count
+        assert dm.rocprof_formula_bytes() == dm.total_bytes
+        assert dm.read_requests % dm.num_warps == 0
+        assert dm.write_requests % dm.num_warps == 0
+        assert 64.0 * dm.read_requests >= dm.per_warp_read_bytes * dm.num_warps
+        assert 64.0 * dm.write_requests >= dm.per_warp_write_bytes * dm.num_warps
+
     def test_invalid_cells(self):
         with pytest.raises(ValueError):
             self._dm("optimized-residual", A100, ncells=0)
@@ -246,6 +262,64 @@ class TestOccupancyAndBandwidth:
             achieved_bandwidth_fraction(A100, 1.5)
         with pytest.raises(ValueError):
             achieved_bandwidth_fraction(A100, 0.5, rmw_fraction=2.0)
+
+
+class TestOccupancyValidation:
+    def _alloc(self, tpb):
+        from repro.gpusim.registers import Allocation
+
+        return Allocation(
+            arch_vgprs=128,
+            accum_vgprs=0,
+            scratch_bytes=0,
+            issue_penalty=1.0,
+            profile="tight",
+            threads_per_block=tpb,
+            max_warps_per_cu=32.0,
+        )
+
+    @pytest.mark.parametrize("spec", [A100, MI250X_GCD], ids=lambda s: s.name)
+    def test_oversized_block_rejected(self, spec):
+        """threads_per_block beyond the CU limit is unlaunchable on real
+        hardware; it used to be silently clamped and simulated anyway."""
+        with pytest.raises(ValueError, match="cannot run on real hardware"):
+            compute_occupancy(spec, self._alloc(spec.max_threads_per_cu + 1), 256_000)
+
+    @pytest.mark.parametrize("spec", [A100, MI250X_GCD], ids=lambda s: s.name)
+    def test_limit_block_accepted(self, spec):
+        occ = compute_occupancy(spec, self._alloc(spec.max_threads_per_cu), 256_000)
+        assert occ.threads_per_block == spec.max_threads_per_cu
+
+
+class TestKernelProfilePeakBandwidth:
+    def test_peak_bandwidth_is_required(self):
+        import dataclasses
+
+        from repro.gpusim.simulator import KernelProfile
+
+        p = GPUSimulator(A100).run("optimized-residual")
+        assert p.peak_bandwidth == A100.hbm_bytes_per_s
+        kwargs = {
+            f.name: getattr(p, f.name)
+            for f in dataclasses.fields(p)
+            if f.name != "peak_bandwidth"
+        }
+        with pytest.raises(TypeError):
+            KernelProfile(**kwargs)
+
+    def test_zero_peak_bandwidth_rejected(self):
+        import dataclasses
+
+        p = GPUSimulator(A100).run("optimized-residual")
+        with pytest.raises(ValueError, match="peak_bandwidth"):
+            dataclasses.replace(p, peak_bandwidth=0.0)
+
+    def test_bandwidth_fraction_well_defined(self):
+        p = GPUSimulator(MI250X_GCD).run("baseline-jacobian")
+        assert p.bandwidth_fraction_of_peak == pytest.approx(
+            (p.hbm_bytes / p.time_s) / MI250X_GCD.hbm_bytes_per_s
+        )
+        assert 0.0 < p.bandwidth_fraction_of_peak <= 1.0
 
 
 class TestSimulator:

@@ -72,6 +72,54 @@ class TestStreaming:
         assert dm.rmw_fraction == 1.0
 
 
+class TestRocprofReconciliation:
+    """The appendix TCC_EA formula must reproduce the modeled bytes.
+
+    Requests are whole 64 B transactions issued per warp (ceiling of the
+    warp's byte traffic), and the reported totals are defined as 64 B per
+    request -- truncating ``int(total / 64)`` made the formula fall short
+    of ``total_bytes`` by up to 126 B per kernel.
+    """
+
+    @given(
+        st.integers(2, 50),
+        st.integers(1, 4),
+        st.integers(1, 2_000_000),
+        st.sampled_from(["A100", "MI250X"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_formula_reproduces_total_bytes(self, n, revisits, num_cells, gpu):
+        spec = A100 if gpu == "A100" else MI250X_GCD
+        rng = np.random.default_rng(n * 31 + revisits * 7 + num_cells % 997)
+        base = [Slot("a", int(i), 0) for i in range(n)]
+        trace, writes = [], []
+        for _ in range(revisits):
+            order = rng.permutation(n)
+            trace += [base[i] for i in order]
+            writes += [bool(rng.integers(0, 2)) for _ in range(n)]
+        key = f"rocprof-{gpu}-{n}-{revisits}-{hash(tuple(writes)) & 0xFFFF}"
+        dm = measure_data_movement(_program(trace, writes, key), spec, _occ(), num_cells)
+
+        assert dm.rocprof_formula_bytes() == dm.total_bytes
+        assert dm.total_bytes == 64.0 * (dm.read_requests + dm.write_requests)
+        # per-warp ceilings: requests cover the raw modeled traffic and
+        # overshoot by less than one request per warp and stream
+        assert 64.0 * dm.read_requests >= dm.per_warp_read_bytes * dm.num_warps - 1e-6
+        assert 64.0 * dm.read_requests < (dm.per_warp_read_bytes + 64.0) * dm.num_warps
+        assert 64.0 * dm.write_requests >= dm.per_warp_write_bytes * dm.num_warps - 1e-6
+        assert 64.0 * dm.write_requests < (dm.per_warp_write_bytes + 64.0) * dm.num_warps
+
+    def test_zero_traffic_zero_requests(self):
+        # a single read slot re-read in cache: writes never happen, so
+        # write requests must be exactly zero (no spurious ceiling)
+        trace = [Slot("a", 0, 0)] * 4
+        writes = [False] * 4
+        dm = measure_data_movement(_program(trace, writes, "zero-wr"), A100, _occ(), 1000)
+        assert dm.write_requests == 0
+        assert dm.write_bytes == 0.0
+        assert dm.rocprof_formula_bytes() == dm.total_bytes
+
+
 class TestMonotonicity:
     @given(st.integers(5, 60), st.integers(2, 6))
     @settings(max_examples=25, deadline=None)

@@ -118,6 +118,56 @@ class TestGmres:
         assert np.linalg.norm(A.matvec(res.x) - b) <= 1e-9 * np.linalg.norm(b)
 
 
+class TestGmresBreakdown:
+    """Lucky-breakdown termination: once the Krylov space closes, stop."""
+
+    @staticmethod
+    def _counting(A):
+        count = {"matvecs": 0}
+
+        def mv(v):
+            count["matvecs"] += 1
+            return A.matvec(v)
+
+        return mv, count
+
+    def test_krylov_closure_converges_in_subspace_dim(self):
+        # three distinct eigenvalues -> Krylov space of b closes at dim 3
+        d = np.array([1.0, 1.0, 2.0, 2.0, 3.0, 3.0])
+        A = CsrMatrix.from_coo(np.arange(6), np.arange(6), d, (6, 6))
+        mv, count = self._counting(A)
+        res = gmres(mv, np.ones(6), tol=1e-12, restart=6, maxiter=60)
+        assert res.converged
+        assert res.iterations <= 3
+        # initial residual + <=3 Arnoldi steps + final true residual
+        assert count["matvecs"] <= 5
+
+    def test_breakdown_on_inconsistent_singular_system_stops(self):
+        """Singular A with b outside range(A): the subspace closes while
+        the residual stays large.  Without breakdown termination GMRES
+        keeps orthogonalizing against zero vectors and restarting until
+        ``maxiter``; with it, the solve stops at the subspace dimension.
+        """
+        A = CsrMatrix.from_coo(np.arange(3), np.arange(3), [1.0, 2.0, 0.0], (3, 3))
+        b = np.array([1.0, 1.0, 1.0])
+        mv, count = self._counting(A)
+        res = gmres(mv, b, tol=1e-12, restart=10, maxiter=200)
+        assert not res.converged
+        assert res.iterations <= 4  # not the full maxiter budget
+        assert count["matvecs"] <= 8
+        # the returned iterate is still the subspace minimizer: only the
+        # null-space component of b (norm 1) remains
+        assert res.final_residual == pytest.approx(1.0, rel=1e-8)
+
+    def test_breakdown_solution_is_exact_for_consistent_system(self):
+        d = np.array([2.0, 2.0, 5.0])
+        A = CsrMatrix.from_coo(np.arange(3), np.arange(3), d, (3, 3))
+        xref = np.array([1.0, 1.0, -3.0])
+        res = gmres(A, A.matvec(xref), tol=1e-13, restart=3, maxiter=30)
+        assert res.converged
+        assert np.allclose(res.x, xref, atol=1e-10)
+
+
 class TestSmoothers:
     def test_jacobi_reduces_error(self):
         A = _laplace_1d(30)
@@ -277,6 +327,52 @@ class TestNewton:
         res = newton_solve(F, J, np.array([0.0]), max_steps=4, tol=1e-12)
         assert not res.converged
         assert res.iterations == 4
+
+    def test_fused_path_matches_unfused(self):
+        def F(x):
+            return x * x - 4.0
+
+        def J(x):
+            return CsrMatrix.from_coo(np.arange(3), np.arange(3), 2.0 * x, (3, 3))
+
+        x0 = np.array([1.0, 3.0, 10.0])
+        plain = newton_solve(F, J, x0, max_steps=30, tol=1e-12)
+        fused = newton_solve(
+            F, None, x0, max_steps=30, tol=1e-12, residual_jacobian_fn=lambda x: (F(x), J(x))
+        )
+        assert fused.converged
+        assert np.allclose(fused.x, plain.x, atol=1e-12)
+        assert fused.iterations == plain.iterations
+
+    def test_fused_path_eval_counts(self):
+        """One fused sweep per accepted step, one residual per trial."""
+
+        def F(x):
+            return np.arctan(x)  # forces backtracking from x0 = 20
+
+        def J(x):
+            return CsrMatrix.from_coo([0], [0], 1.0 / (1.0 + x * x), (1, 1))
+
+        res = newton_solve(
+            F, None, np.array([20.0]), max_steps=40, tol=1e-10,
+            residual_jacobian_fn=lambda x: (F(x), J(x)),
+        )
+        assert res.converged
+        assert min(res.step_lengths) < 1.0  # damping engaged
+        trials = sum(int(round(np.log2(1.0 / a))) + 1 for a in res.step_lengths)
+        assert res.num_jacobian_evals == res.iterations
+        assert res.num_residual_evals == trials
+
+    def test_requires_some_jacobian(self):
+        with pytest.raises(ValueError):
+            newton_solve(lambda x: x, None, np.array([1.0]))
+
+    def test_phase_seconds_reported(self):
+        A = _random_spd(6, seed=9)
+        b = A.matvec(np.ones(6))
+        res = newton_solve(lambda x: A.matvec(x) - b, lambda x: A, np.zeros(6), max_steps=3)
+        assert set(res.phase_seconds) == {"evaluate", "preconditioner", "gmres"}
+        assert all(v >= 0.0 for v in res.phase_seconds.values())
 
     def test_preconditioner_hook_called(self):
         calls = []
