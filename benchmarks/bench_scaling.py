@@ -6,15 +6,39 @@ project weak and strong scaling on both machines.  Sanity criteria:
 weak scaling stays above 85% efficiency to 64 GPUs at the paper's
 per-GPU load, and strong scaling degrades monotonically as the local
 problem shrinks into the latency floor.
+
+The measured-halo benches ground the projections in *real*
+decompositions: the synthetic Antarctica footprint is RCB-partitioned
+at each GPU count, per-rank ghost-column counts and exchange bytes are
+measured with :func:`repro.mesh.partition.halo_statistics`, and the
+measured-vs-analytic ghost ratio quantifies how far the ``4 sqrt(A)``
+patch estimate sits from the partitioner's actual halos
+(``results/scaling_measured_halo.json``).
 """
+
+import json
 
 import pytest
 
 from repro.app.scaling import ScalingModel
 from repro.gpusim import A100, MI250X_GCD
+from repro.mesh import antarctica_geometry
+from repro.mesh.partition import halo_statistics, partition_footprint
+from repro.mesh.planar import masked_quad_footprint
 from repro.perf.report import format_table, write_csv
 
 GPU_COUNTS = [1, 2, 4, 8, 16, 32, 64]
+#: partition counts for the measured-halo benches ({1, 2, 4, 8} required)
+PART_COUNTS = [1, 2, 4, 8, 16]
+
+
+def _antarctica_footprint(resolution_km=64.0):
+    """The paper-test footprint at a partitioning-friendly resolution."""
+    geo = antarctica_geometry(resolution_km)
+    res_m = resolution_km * 1.0e3
+    nx = max(4, int(round(geo.lx / res_m)))
+    ny = max(4, int(round(geo.ly / res_m)))
+    return masked_quad_footprint(nx, ny, geo.lx, geo.ly, geo.mask)
 
 
 @pytest.mark.parametrize("spec", [A100, MI250X_GCD], ids=lambda s: s.name)
@@ -58,6 +82,106 @@ def test_strong_scaling_hits_latency_floor(print_once, results_dir, benchmark):
     assert eff[-1] < 0.9
     # communication share grows as the local problem shrinks
     assert pts[-1].communication_fraction > pts[1].communication_fraction
+
+
+def test_measured_halo_traffic_json(print_once, results_dir, benchmark):
+    """Measured per-rank halo bytes from real RCB partitions -> JSON.
+
+    Partitions the Antarctica footprint at {1, 2, 4, 8, 16} parts and
+    records what each rank actually receives on a ghost refresh --
+    measured, not the 4 sqrt(A) estimate -- alongside the
+    measured-vs-analytic ghost-count ratio.
+    """
+    fp = _antarctica_footprint()
+    model = ScalingModel(A100)
+    nz = model.levels - 1
+
+    record = {
+        "footprint": {"columns": fp.num_nodes, "cells_2d": fp.num_elems},
+        "levels": model.levels,
+        "ndof": 2,
+        "parts": [],
+    }
+    rows = []
+    for p in PART_COUNTS:
+        stats = halo_statistics(partition_footprint(fp, p))
+        cells_per_rank = max(stats.owned_elems) * nz
+        analytic = model.ghost_columns(cells_per_rank)
+        ratio = stats.max_ghost_nodes / analytic if p > 1 else None
+        entry = {
+            "nparts": p,
+            "cells_per_rank_max": cells_per_rank,
+            "elem_imbalance": stats.elem_imbalance,
+            "ghost_columns_per_rank": list(stats.ghost_nodes),
+            "send_columns_per_rank": list(stats.send_nodes),
+            "neighbors_per_rank": list(stats.neighbor_counts),
+            "halo_bytes_per_rank": stats.ghost_bytes_per_exchange(model.levels),
+            "ghost_columns_analytic": analytic if p > 1 else 0.0,
+            "measured_vs_analytic_ghost_ratio": ratio,
+        }
+        record["parts"].append(entry)
+        rows.append(
+            [
+                p,
+                cells_per_rank,
+                stats.max_ghost_nodes,
+                max(entry["halo_bytes_per_rank"]),
+                f"{analytic:.1f}" if p > 1 else "-",
+                f"{ratio:.2f}" if ratio is not None else "-",
+            ]
+        )
+
+    out = results_dir / "scaling_measured_halo.json"
+    out.write_text(json.dumps(record, indent=2) + "\n")
+    headers = ["parts", "cells/rank", "ghost cols (max)", "halo B/rank (max)", "analytic cols", "meas/analytic"]
+    print_once(
+        "measured-halo",
+        format_table(headers, rows, title="Measured halo traffic on Antarctica footprint (RCB)"),
+    )
+
+    by_parts = {e["nparts"]: e for e in record["parts"]}
+    assert {1, 2, 4, 8} <= set(by_parts)  # required part counts present
+    for p, e in by_parts.items():
+        assert len(e["halo_bytes_per_rank"]) == p
+        if p == 1:
+            assert e["halo_bytes_per_rank"] == [0]
+        else:
+            assert max(e["halo_bytes_per_rank"]) > 0
+            assert 0.1 < e["measured_vs_analytic_ghost_ratio"] < 5.0
+    assert json.loads(out.read_text())["parts"]  # round-trips
+
+    benchmark(lambda: halo_statistics(partition_footprint(fp, 8)))
+
+
+def test_partitioned_strong_scaling_measured(print_once, results_dir, benchmark):
+    """Strong scaling projected from measured decompositions, not splits."""
+    fp = _antarctica_footprint()
+    model = ScalingModel(A100)
+    pts = benchmark(model.partitioned_strong_scaling, fp, PART_COUNTS)
+    rows = [
+        [
+            p.num_gpus,
+            p.cells_per_gpu,
+            f"{p.ghost_columns:.0f}" if p.ghost_columns is not None else "-",
+            p.t_step,
+            f"{p.communication_fraction:.1%}",
+            p.halo_source,
+        ]
+        for p in pts
+    ]
+    headers = ["GPUs", "cells/GPU (max)", "ghost cols", "t/Newton step [s]", "comm frac", "halo"]
+    print_once(
+        "strong-measured-A100",
+        format_table(headers, rows, title="Strong scaling from measured RCB partitions (A100)"),
+    )
+    write_csv(results_dir / "scaling_strong_measured_A100.csv", headers, rows)
+
+    assert all(p.halo_source == "measured" for p in pts)
+    assert pts[-1].t_step < pts[0].t_step
+    assert all(p.ghost_columns > 0 for p in pts if p.num_gpus > 1)
+    # critical-rank load never below the uniform split
+    for p in pts:
+        assert p.cells_per_gpu * p.num_gpus >= fp.num_elems * (model.levels - 1)
 
 
 def test_baseline_kernels_worsen_scaling_economics(benchmark):

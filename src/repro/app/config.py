@@ -29,6 +29,12 @@ class VelocityConfig:
     #: step (the paper's loop-fusion theme applied host-side); False
     #: falls back to separate residual/jacobian evaluations
     fused_assembly: bool = True
+    #: number of SPMD ranks (MALI: one MPI rank per GPU).  With
+    #: ``nparts > 1`` the solve runs over a real RCB footprint partition:
+    #: rank-restricted assembly, row-partitioned SpMV with ghost refresh,
+    #: partitioned dot products, and measured halo traffic in the
+    #: diagnostics -- bit-for-bit identical to the serial solve.
+    nparts: int = 1
 
     def __post_init__(self):
         if self.kernel_impl not in ("baseline", "optimized"):
@@ -37,6 +43,8 @@ class VelocityConfig:
             raise ValueError(f"unknown preconditioner {self.preconditioner!r}")
         if self.workset_size <= 0 or self.newton_steps <= 0:
             raise ValueError("workset size and Newton steps must be positive")
+        if self.nparts < 1:
+            raise ValueError("nparts must be at least 1")
 
 
 @dataclass(frozen=True)

@@ -6,15 +6,20 @@ strong scaling of the velocity solver's GPU phase:
 
 * per-rank kernel work from the simulator (Jacobian + Residual per
   Newton step, times the calibrated solver-phase multiplier);
-* halo exchange per Newton step: ghost-column surface area from the
-  partition statistics, bytes = ghost nodes x levels x dofs x 8 B, at
-  the node-interconnect bandwidth (Slingshot-11: 25 GB/s/NIC per
-  direction on both machines, 4 NICs/node, paper Section IV-A);
+* halo exchange per Newton step: ghost-column counts *measured* from a
+  real RCB partition (:func:`repro.mesh.partition.halo_statistics`) via
+  :meth:`ScalingModel.partitioned_strong_scaling`, or the ``4 sqrt(A)``
+  compact-patch estimate as the analytic fallback; bytes = ghost
+  columns x levels x dofs x 8 B, at the node-interconnect bandwidth
+  (Slingshot-11: 25 GB/s/NIC per direction on both machines, 4
+  NICs/node, paper Section IV-A);
 * an allreduce latency term (log2 P) for the Newton/Krylov dot products.
 
 This is a model, not a simulation of MPI -- it exists to let the
 scaling examples and benches explore the paper's "scalability studies"
-outlook with the same calibrated kernel costs.
+outlook with the same calibrated kernel costs.  The in-process SPMD
+solve (:mod:`repro.fem.distributed`) is the companion *measurement*
+path: its traffic meter records the actual bytes each exchange moves.
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ from dataclasses import dataclass
 from repro.gpusim.simulator import GPUSimulator, ProblemSize
 from repro.gpusim.specs import GPUSpec
 from repro.kokkos.policy import LaunchBounds
+from repro.mesh.partition import halo_statistics, partition_footprint
 
 __all__ = ["InterconnectSpec", "SLINGSHOT11", "ScalingModel", "ScalingPoint"]
 
@@ -60,6 +66,10 @@ class ScalingPoint:
     t_kernels: float
     t_halo: float
     t_allreduce: float
+    #: ghost columns the halo term used (None when no halo, P = 1)
+    ghost_columns: float | None = None
+    #: "analytic" (4 sqrt(A) patch estimate) or "measured" (real partition)
+    halo_source: str = "analytic"
 
     @property
     def t_step(self) -> float:
@@ -109,10 +119,18 @@ class ScalingModel:
         area = max(1.0, cells_per_gpu / nz)
         return 4.0 * math.sqrt(area)
 
-    def halo_time_per_step(self, cells_per_gpu: int, num_gpus: int) -> float:
+    def halo_time_per_step(
+        self, cells_per_gpu: int, num_gpus: int, ghost_columns: float | None = None
+    ) -> float:
+        """Halo-exchange time per Newton step.
+
+        ``ghost_columns`` overrides the analytic ``4 sqrt(A)`` estimate
+        with a measured per-rank ghost-column count (from
+        :func:`repro.mesh.partition.halo_statistics`).
+        """
         if num_gpus <= 1:
             return 0.0
-        cols = self.ghost_columns(cells_per_gpu)
+        cols = self.ghost_columns(cells_per_gpu) if ghost_columns is None else ghost_columns
         bytes_per_exchange = cols * self.levels * 2 * 8.0  # 2 dofs, fp64
         bw = self.interconnect.bandwidth_per_nic * self.interconnect.nics_per_node
         bw_per_gpu = bw / self.interconnect.gpus_per_node
@@ -140,15 +158,22 @@ class ScalingModel:
                     t_kernels=tk,
                     t_halo=self.halo_time_per_step(cells_per_gpu, p),
                     t_allreduce=self.allreduce_time_per_step(p),
+                    ghost_columns=self.ghost_columns(cells_per_gpu) if p > 1 else None,
                 )
             )
         return out
 
     def strong_scaling(self, total_cells: int, gpu_counts: list[int]) -> list[ScalingPoint]:
-        """Fixed total work; ideal behavior is 1/P time per step."""
+        """Fixed total work; ideal behavior is 1/P time per step.
+
+        The critical rank carries ``ceil(total / P)`` cells when ``P``
+        does not divide the cell count -- the slowest rank sets the step
+        time, so flooring here would under-count the load of every rank
+        that matters.
+        """
         out = []
         for p in gpu_counts:
-            local = max(1, total_cells // p)
+            local = max(1, -(-total_cells // p))  # ceiling division
             out.append(
                 ScalingPoint(
                     num_gpus=p,
@@ -156,6 +181,36 @@ class ScalingModel:
                     t_kernels=self.kernel_time_per_step(local),
                     t_halo=self.halo_time_per_step(local, p),
                     t_allreduce=self.allreduce_time_per_step(p),
+                    ghost_columns=self.ghost_columns(local) if p > 1 else None,
+                )
+            )
+        return out
+
+    def partitioned_strong_scaling(self, footprint, gpu_counts: list[int]) -> list[ScalingPoint]:
+        """Strong scaling from *measured* decompositions of a real footprint.
+
+        Partitions ``footprint`` with the repo's RCB partitioner at every
+        GPU count and reads the critical rank's cell load and ghost-column
+        count from :func:`repro.mesh.partition.halo_statistics` -- the
+        measured replacement for the ``4 sqrt(A)`` estimate and the
+        uniform ``total / P`` split.  Points carry
+        ``halo_source="measured"``.
+        """
+        nz = self.levels - 1
+        out = []
+        for p in gpu_counts:
+            stats = halo_statistics(partition_footprint(footprint, p))
+            local = max(1, max(stats.owned_elems) * nz)
+            ghost = float(stats.max_ghost_nodes) if p > 1 else None
+            out.append(
+                ScalingPoint(
+                    num_gpus=p,
+                    cells_per_gpu=local,
+                    t_kernels=self.kernel_time_per_step(local),
+                    t_halo=self.halo_time_per_step(local, p, ghost_columns=ghost),
+                    t_allreduce=self.allreduce_time_per_step(p),
+                    ghost_columns=ghost,
+                    halo_source="measured",
                 )
             )
         return out

@@ -22,14 +22,17 @@ import numpy as np
 from repro.app.config import VelocityConfig
 from repro.fem.assembly import AssemblyPlan
 from repro.fem.discretization import compute_basis_data, compute_face_basis_data
+from repro.fem.distributed import DistributedMatrix, DistributedStokesAssembly
 from repro.fem.dofmap import DofMap
 from repro.fem.sparse import CsrMatrix
 from repro.mesh.extrude import ExtrudedMesh
 from repro.mesh.geometry import IceGeometry
+from repro.mesh.partition import TrafficMeter, halo_statistics, partition_footprint
 from repro.physics.evaluators import Workset, build_stokes_field_manager
 from repro.physics.viscosity import flow_factor_arrhenius
 from repro.solvers.multigrid import ColumnCollapseMdsc, build_mdsc_amg
 from repro.solvers.newton import NewtonResult, newton_solve
+from repro.solvers.reductions import column_block_reducer
 from repro.solvers.smoothers import JacobiSmoother, VerticalLineSmoother
 
 __all__ = ["StokesVelocityProblem", "VelocitySolution"]
@@ -109,6 +112,27 @@ class StokesVelocityProblem:
         # step is then a pure numeric fill (no re-sort).
         self.plan = AssemblyPlan(self.dofmap, self.bc_dofs)
 
+        # SPMD path: real RCB partition of the footprint, rank-restricted
+        # assembly and row-partitioned operators with metered halo
+        # traffic.  The solve stays bit-for-bit identical to serial
+        # because both share the column-blocked reducer below and the
+        # distributed assembly preserves the serial summation orders.
+        self.partition = None
+        self.meter = None
+        self.spmd = None
+        if cfg.nparts > 1:
+            self.partition = partition_footprint(fp, cfg.nparts)
+            self.meter = TrafficMeter(cfg.nparts)
+            self.spmd = DistributedStokesAssembly(
+                self.plan, self.partition, mesh.levels, mesh.nlayers, meter=self.meter
+            )
+        # deterministic reductions, one block per footprint column: used
+        # by serial AND distributed solves (E3SM-style BFB reproducibility
+        # across decompositions)
+        self.reducer = column_block_reducer(
+            fp.num_nodes, mesh.levels, ndof=2, meter=self.meter
+        )
+
         # characteristic magnitude of the physics diagonal, probed from
         # one workset at zero velocity: Dirichlet rows are scaled to it
         # so algebraic coarsening stays well conditioned
@@ -128,37 +152,86 @@ class StokesVelocityProblem:
         return 1.0
 
     # ------------------------------------------------------------------
-    def _worksets(self, u: np.ndarray, mode: str):
-        """Yield evaluated worksets covering all cells."""
+    def _worksets(self, u: np.ndarray, mode: str, cells: np.ndarray | None = None):
+        """Yield evaluated worksets covering ``cells`` (default: all).
+
+        Yields ``(a, b, ws)`` where ``a:b`` are positions into the
+        ``cells`` array (equal to global cell ids for the default full
+        sweep).  The SPMD path passes each rank's owned-cell list; the
+        evaluator DAG is strictly per-element, so restricted sweeps
+        reproduce the corresponding serial blocks bitwise.
+        """
         mesh = self.mesh
         cfg = self.config
         u_local = self.dofmap.gather(u).reshape(mesh.num_elems, mesh.nodes_per_elem, 2)
         nz = mesh.nlayers
-        for start in range(0, mesh.num_elems, cfg.workset_size):
-            stop = min(start + cfg.workset_size, mesh.num_elems)
-            cells = np.arange(start, stop)
-            basal_mask = cells % nz == 0
+        if cells is not None:
+            cells = np.asarray(cells, dtype=np.int64)
+        total = mesh.num_elems if cells is None else len(cells)
+        for a in range(0, total, cfg.workset_size):
+            b = min(a + cfg.workset_size, total)
+            # contiguous slices for the full sweep (views, no copies)
+            idx = slice(a, b) if cells is None else cells[a:b]
+            chunk = np.arange(a, b) if cells is None else cells[a:b]
+            basal_mask = chunk % nz == 0
             basal_cells_local = np.flatnonzero(basal_mask)
             basal_rows = np.array(
-                [self._basal_of_elem[int(c)] for c in cells[basal_mask]], dtype=np.int64
+                [self._basal_of_elem[int(c)] for c in chunk[basal_mask]], dtype=np.int64
             )
             ws = Workset(
                 mode=mode,
-                solution_local=u_local[start:stop],
-                w_bf=self.basis.w_bf[start:stop],
-                w_grad_bf=self.basis.w_grad_bf[start:stop],
-                grad_bf=self.basis.grad_bf[start:stop],
-                flow_factor_qp=self.flow_factor_qp[start:stop],
-                grad_s_qp=self.grad_s_qp[start:stop],
+                solution_local=u_local[idx],
+                w_bf=self.basis.w_bf[idx],
+                w_grad_bf=self.basis.w_grad_bf[idx],
+                grad_bf=self.basis.grad_bf[idx],
+                flow_factor_qp=self.flow_factor_qp[idx],
+                grad_s_qp=self.grad_s_qp[idx],
                 basal_cells=basal_cells_local,
                 basal_w_bf=self.face_basis.w_bf[basal_rows] if len(basal_rows) else None,
                 basal_beta_qp=self.basal_beta_qp[basal_rows] if len(basal_rows) else None,
                 basal_bf=self.face_basis.bf if len(basal_rows) else None,
             )
-            yield start, stop, self.field_manager.evaluate(ws)
+            yield a, b, self.field_manager.evaluate(ws)
+
+    def _rank_blocks(self, u: np.ndarray, mode: str) -> list:
+        """Per-rank evaluator sweeps over owned cells (the SPMD scatter
+        sources).  Returns residual blocks, Jacobian blocks, or both."""
+        k = self.dofmap.dofs_per_elem
+        self.spmd.record_ghost_refresh()
+        blocks = []
+        for p in range(self.config.nparts):
+            owned = self.spmd.owned_elems(p)
+            if mode == "jacobian_fused":
+                loc_r = np.empty((len(owned), k))
+                loc_j = np.empty((len(owned), k, k))
+                for a, b, ws in self._worksets(u, "jacobian", cells=owned):
+                    loc_r[a:b] = ws.out_residual
+                    loc_j[a:b] = ws.out_jacobian
+                blocks.append((loc_r, loc_j))
+            elif mode == "jacobian":
+                loc = np.empty((len(owned), k, k))
+                for a, b, ws in self._worksets(u, mode, cells=owned):
+                    loc[a:b] = ws.out_jacobian
+                blocks.append(loc)
+            else:
+                loc = np.empty((len(owned), k))
+                for a, b, ws in self._worksets(u, mode, cells=owned):
+                    loc[a:b] = ws.out_residual
+                blocks.append(loc)
+        return blocks
 
     def residual(self, u: np.ndarray) -> np.ndarray:
         """Global residual F(u) with Dirichlet rows replaced by u - 0."""
+        if self.spmd is not None:
+            t0 = time.perf_counter()
+            blocks = self._rank_blocks(u, "residual")
+            self.phase_seconds["evaluate"] += time.perf_counter() - t0
+            self.eval_counts["residual"] += 1
+            t0 = time.perf_counter()
+            f = self.spmd.assemble_residual(blocks)
+            f[self.bc_dofs] = self.bc_diag_scale * u[self.bc_dofs]
+            self.phase_seconds["scatter"] += time.perf_counter() - t0
+            return f
         local = np.empty((self.mesh.num_elems, self.dofmap.dofs_per_elem))
         t0 = time.perf_counter()
         for start, stop, ws in self._worksets(u, "residual"):
@@ -170,8 +243,22 @@ class StokesVelocityProblem:
         self.phase_seconds["scatter"] += time.perf_counter() - t0
         return f
 
-    def jacobian(self, u: np.ndarray) -> CsrMatrix:
-        """Global Jacobian dF/du with scaled Dirichlet rows."""
+    def jacobian(self, u: np.ndarray):
+        """Global Jacobian dF/du with scaled Dirichlet rows.
+
+        Serial: a :class:`CsrMatrix`.  SPMD: a row-partitioned
+        :class:`DistributedMatrix` whose SpMV and gathered operator are
+        bitwise equal to the serial matrix.
+        """
+        if self.spmd is not None:
+            t0 = time.perf_counter()
+            blocks = self._rank_blocks(u, "jacobian")
+            self.phase_seconds["evaluate"] += time.perf_counter() - t0
+            self.eval_counts["jacobian"] += 1
+            t0 = time.perf_counter()
+            A = self.spmd.assemble_jacobian(blocks, diag_scale=self.bc_diag_scale)
+            self.phase_seconds["scatter"] += time.perf_counter() - t0
+            return A
         k = self.dofmap.dofs_per_elem
         local = np.empty((self.mesh.num_elems, k, k))
         t0 = time.perf_counter()
@@ -184,7 +271,7 @@ class StokesVelocityProblem:
         self.phase_seconds["scatter"] += time.perf_counter() - t0
         return A
 
-    def residual_and_jacobian(self, u: np.ndarray) -> tuple[np.ndarray, CsrMatrix]:
+    def residual_and_jacobian(self, u: np.ndarray):
         """Fused evaluation: F(u) and dF/du from one jacobian-mode sweep.
 
         The SFad evaluation computes the residual as the value component
@@ -193,6 +280,17 @@ class StokesVelocityProblem:
         to the host-side solve, which previously paid a second full
         residual-mode sweep per Newton step.
         """
+        if self.spmd is not None:
+            t0 = time.perf_counter()
+            blocks = self._rank_blocks(u, "jacobian_fused")
+            self.phase_seconds["evaluate"] += time.perf_counter() - t0
+            self.eval_counts["jacobian"] += 1
+            t0 = time.perf_counter()
+            f = self.spmd.assemble_residual([r for r, _ in blocks])
+            f[self.bc_dofs] = self.bc_diag_scale * u[self.bc_dofs]
+            A = self.spmd.assemble_jacobian([j for _, j in blocks], diag_scale=self.bc_diag_scale)
+            self.phase_seconds["scatter"] += time.perf_counter() - t0
+            return f, A
         k = self.dofmap.dofs_per_elem
         local_r = np.empty((self.mesh.num_elems, k))
         local_j = np.empty((self.mesh.num_elems, k, k))
@@ -214,10 +312,15 @@ class StokesVelocityProblem:
         return f
 
     # ------------------------------------------------------------------
-    def _preconditioner(self, A: CsrMatrix):
+    def _preconditioner(self, A):
         cfg = self.config
         if cfg.preconditioner == "none":
             return None
+        if isinstance(A, DistributedMatrix):
+            # replicated preconditioner setup from the gathered operator
+            # (bitwise equal to the serial matrix); the gather is metered
+            # on the matrix_gather channel
+            A = A.gather_global()
         if cfg.preconditioner == "jacobi":
             return JacobiSmoother(A, iters=3)
         if cfg.preconditioner == "vline":
@@ -266,6 +369,7 @@ class StokesVelocityProblem:
             preconditioner_fn=self._preconditioner,
             callback=callback,
             residual_jacobian_fn=self.residual_and_jacobian if cfg.fused_assembly else None,
+            reducer=self.reducer,
         )
         solve_seconds = time.perf_counter() - t_solve
         u = newton.x
@@ -277,24 +381,49 @@ class StokesVelocityProblem:
             "preconditioner": newton.phase_seconds.get("preconditioner", 0.0),
             "gmres": newton.phase_seconds.get("gmres", 0.0),
         }
+        diagnostics = {
+            "newton_residuals": newton.residual_norms,
+            "linear_iterations": newton.linear_iterations,
+            "num_dofs": self.dofmap.num_dofs,
+            "num_cells": self.mesh.num_elems,
+            "fused_assembly": cfg.fused_assembly,
+            "solve_seconds": solve_seconds,
+            "newton_steps_per_s": newton.iterations / solve_seconds if solve_seconds > 0 else 0.0,
+            "phase_seconds": phase_seconds,
+            "eval_sweeps": {
+                mode: self.eval_counts[mode] - eval_counts_before[mode]
+                for mode in ("residual", "jacobian")
+            },
+        }
+        if self.spmd is not None:
+            diagnostics["spmd"] = self._spmd_diagnostics()
         return VelocitySolution(
             u=u,
             newton=newton,
             mean_velocity=float(speeds.mean()),
             max_velocity=float(speeds.max()),
             surface_mean_velocity=float(speeds[surf].mean()),
-            diagnostics={
-                "newton_residuals": newton.residual_norms,
-                "linear_iterations": newton.linear_iterations,
-                "num_dofs": self.dofmap.num_dofs,
-                "num_cells": self.mesh.num_elems,
-                "fused_assembly": cfg.fused_assembly,
-                "solve_seconds": solve_seconds,
-                "newton_steps_per_s": newton.iterations / solve_seconds if solve_seconds > 0 else 0.0,
-                "phase_seconds": phase_seconds,
-                "eval_sweeps": {
-                    mode: self.eval_counts[mode] - eval_counts_before[mode]
-                    for mode in ("residual", "jacobian")
-                },
-            },
+            diagnostics=diagnostics,
         )
+
+    def _spmd_diagnostics(self) -> dict:
+        """Measured per-rank halo traffic, imbalance and exchange counts.
+
+        ``ghost_columns_analytic`` is the ``4 sqrt(A)`` compact-patch
+        estimate the scaling model falls back to; the measured-vs-
+        analytic ratio quantifies how far the real RCB decomposition
+        sits from that idealization.
+        """
+        stats = halo_statistics(self.partition)
+        cells_per_rank = self.mesh.num_elems / self.config.nparts
+        analytic = 4.0 * float(np.sqrt(max(1.0, cells_per_rank / self.mesh.nlayers)))
+        return {
+            "nparts": self.config.nparts,
+            "halo": stats.to_dict(),
+            "traffic": self.meter.summary(),
+            "elem_imbalance": self.spmd.imbalance(),
+            "ghost_columns_measured_max": stats.max_ghost_nodes,
+            "ghost_columns_measured_mean": stats.mean_ghost_nodes,
+            "ghost_columns_analytic": analytic,
+            "measured_vs_analytic_ghost_ratio": stats.max_ghost_nodes / analytic,
+        }

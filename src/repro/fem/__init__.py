@@ -17,6 +17,7 @@ from repro.fem.assembly import (
     assemble_vector,
     apply_dirichlet,
 )
+from repro.fem.distributed import DistributedStokesAssembly, DistributedMatrix
 
 __all__ = [
     "Quad4",
@@ -36,4 +37,6 @@ __all__ = [
     "assemble_matrix",
     "assemble_vector",
     "apply_dirichlet",
+    "DistributedStokesAssembly",
+    "DistributedMatrix",
 ]

@@ -25,7 +25,14 @@ from repro.mesh.geometry import (
 )
 from repro.mesh.voronoi import VoronoiMesh, mpas_voronoi_mesh, triangle_footprint_from_voronoi
 from repro.mesh.extrude import ExtrudedMesh, extrude_footprint, uniform_sigma_levels
-from repro.mesh.partition import Partition, partition_footprint, HaloExchange
+from repro.mesh.partition import (
+    Partition,
+    partition_footprint,
+    HaloExchange,
+    TrafficMeter,
+    HaloStatistics,
+    halo_statistics,
+)
 
 __all__ = [
     "Footprint2D",
@@ -44,4 +51,7 @@ __all__ = [
     "Partition",
     "partition_footprint",
     "HaloExchange",
+    "TrafficMeter",
+    "HaloStatistics",
+    "halo_statistics",
 ]

@@ -14,6 +14,7 @@ meshes (Tuminaro et al. 2016).  This package implements that stack:
 """
 
 from repro.solvers.gmres import GmresResult, gmres
+from repro.solvers.reductions import BlockReducer, column_block_reducer
 from repro.solvers.smoothers import (
     IdentityPreconditioner,
     JacobiSmoother,
@@ -26,6 +27,8 @@ from repro.solvers.newton import NewtonResult, newton_solve
 __all__ = [
     "GmresResult",
     "gmres",
+    "BlockReducer",
+    "column_block_reducer",
     "IdentityPreconditioner",
     "JacobiSmoother",
     "VerticalLineSmoother",

@@ -40,6 +40,8 @@ def gmres(
     restart: int = 50,
     maxiter: int = 500,
     M=None,
+    dot=None,
+    norm=None,
 ) -> GmresResult:
     """Solve ``A x = b`` with restarted right-preconditioned GMRES.
 
@@ -55,20 +57,30 @@ def gmres(
         Krylov dimension per cycle.
     maxiter:
         Total iteration (matvec) budget across restarts.
+    dot, norm:
+        Inner product and 2-norm implementations (default ``np.dot`` /
+        ``np.linalg.norm``).  A distributed run passes partitioned
+        reductions here (e.g. :class:`repro.solvers.reductions.
+        BlockReducer`) so the Arnoldi recurrence runs on rank-local
+        partial sums combined in a decomposition-independent order.
     """
     matvec = _as_operator(A)
+    if dot is None:
+        dot = np.dot
+    if norm is None:
+        norm = np.linalg.norm
     b = np.asarray(b, dtype=np.float64)
     n = b.shape[0]
     x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64)
     precond = (lambda r: r) if M is None else M.apply
 
-    bnorm = np.linalg.norm(b)
+    bnorm = norm(b)
     if bnorm == 0.0:
         return GmresResult(np.zeros(n), True, 0, [0.0])
     target = tol * bnorm
 
     r = b - matvec(x)
-    rnorm = np.linalg.norm(r)
+    rnorm = norm(r)
     norms = [float(rnorm)]
     total_it = 0
     breakdown = False
@@ -90,9 +102,9 @@ def gmres(
             w = matvec(Z[k])
             # modified Gram-Schmidt
             for i in range(k + 1):
-                H[i, k] = np.dot(w, V[i])
+                H[i, k] = dot(w, V[i])
                 w -= H[i, k] * V[i]
-            H[k + 1, k] = np.linalg.norm(w)
+            H[k + 1, k] = norm(w)
             if H[k + 1, k] > 1.0e-14 * max(1.0, abs(H[k, k])):
                 V[k + 1] = w / H[k + 1, k]
             else:
@@ -141,7 +153,7 @@ def gmres(
         x = x + Z[:k_used].T @ y
 
         r = b - matvec(x)
-        rnorm = np.linalg.norm(r)
+        rnorm = norm(r)
         norms[-1] = float(rnorm)  # replace estimate with true residual
 
     return GmresResult(x, bool(rnorm <= target), total_it, norms)

@@ -110,16 +110,19 @@ def horizontal_aggregates(A: CsrMatrix, ndof: int, theta: float = 0.02) -> tuple
             continue
         nbrs = ec[nbr_ptr[v] : nbr_ptr[v + 1]]
         free = nbrs[agg_of[nbrs] < 0]
+        if len(nbrs) and len(free) == 0:
+            # every strong neighbor is already taken: a true straggler.
+            # Seeding a new aggregate here would make it a singleton that
+            # inflates the coarse operator; defer it to the attach pass.
+            continue
         agg_of[v] = next_agg
         agg_of[free] = next_agg
         next_agg += 1
-    # attach stragglers (isolated nodes already got their own aggregate)
+    # attach stragglers to a neighboring aggregate (only isolated nodes
+    # -- no strong connections at all -- seed singletons above)
     for v in range(nn):
         if agg_of[v] < 0:
-            nbrs = ec[nbr_ptr[v] : nbr_ptr[v + 1]]
-            agg_of[v] = agg_of[nbrs[0]] if len(nbrs) else next_agg
-            if agg_of[v] == next_agg:
-                next_agg += 1
+            agg_of[v] = agg_of[ec[nbr_ptr[v]]]
 
     dof_agg = (agg_of[:, None] * ndof + np.arange(ndof)[None, :]).ravel()
     return dof_agg, next_agg * ndof

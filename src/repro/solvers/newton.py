@@ -60,6 +60,7 @@ def newton_solve(
     damping_min: float = 1.0 / 64.0,
     callback=None,
     residual_jacobian_fn=None,
+    reducer=None,
 ) -> NewtonResult:
     """Solve ``F(x) = 0`` by damped Newton.
 
@@ -82,9 +83,18 @@ def newton_solve(
     damping_min:
         Smallest backtracking step before accepting a non-decreasing
         update (keeps the fixed-step-count workflow robust).
+    reducer:
+        Optional object with ``dot(x, y)`` and ``norm(x)`` (e.g.
+        :class:`repro.solvers.reductions.BlockReducer`) used for every
+        residual norm, line-search test and GMRES inner product.  A
+        distributed solve passes a partitioned, decomposition-independent
+        reducer so serial and SPMD trajectories stay bit-for-bit equal.
     """
     if residual_jacobian_fn is None and jacobian_fn is None:
         raise ValueError("either jacobian_fn or residual_jacobian_fn is required")
+    norm_fn = np.linalg.norm if reducer is None else reducer.norm
+    gmres_dot = None if reducer is None else reducer.dot
+    gmres_norm = None if reducer is None else reducer.norm
     phases = {"evaluate": 0.0, "preconditioner": 0.0, "gmres": 0.0}
 
     x = np.array(x0, dtype=np.float64)
@@ -109,7 +119,7 @@ def newton_solve(
             "non-finite residual at the initial guess; check inputs "
             "(thickness/viscosity fields) before starting Newton"
         )
-    fnorm = float(np.linalg.norm(f))
+    fnorm = float(norm_fn(f))
     res.residual_norms.append(fnorm)
     if fnorm <= tol:
         res.converged = True
@@ -123,7 +133,7 @@ def newton_solve(
             # fused: one jacobian-mode sweep yields both outputs; its
             # value component replaces the carried line-search residual
             f, J = residual_jacobian_fn(x)
-            fnorm = float(np.linalg.norm(f))
+            fnorm = float(norm_fn(f))
             res.num_jacobian_evals += 1
         else:
             J = jacobian_fn(x)
@@ -142,6 +152,8 @@ def newton_solve(
             restart=gmres_restart,
             maxiter=gmres_maxiter,
             M=M,
+            dot=gmres_dot,
+            norm=gmres_norm,
         )
         phases["gmres"] += time.perf_counter() - t0
         dx = lin.x
@@ -155,7 +167,7 @@ def newton_solve(
             f_trial = residual_fn(x_trial)
             phases["evaluate"] += time.perf_counter() - t0
             res.num_residual_evals += 1
-            fnorm_trial = float(np.linalg.norm(f_trial))
+            fnorm_trial = float(norm_fn(f_trial))
             if fnorm_trial < (1.0 - 1.0e-4 * alpha) * fnorm or alpha <= damping_min:
                 break
             alpha *= 0.5

@@ -14,6 +14,8 @@ from repro.mesh import (
     uniform_sigma_levels,
     partition_footprint,
     HaloExchange,
+    TrafficMeter,
+    halo_statistics,
 )
 
 
@@ -276,3 +278,143 @@ class TestPartition:
         field = np.arange(p.footprint.num_nodes, dtype=float)
         local = halo.gather(0, field)
         assert np.array_equal(local, field[halo.local_nodes(0)])
+
+
+class TestHaloMaps:
+    """Per-neighbor send/recv index maps and the traffic meter."""
+
+    def _halo(self, nparts=4):
+        part = partition_footprint(quad_footprint(8, 8, 1.0, 1.0), nparts)
+        return part, HaloExchange(part)
+
+    def test_send_recv_maps_mirror(self):
+        part, halo = self._halo()
+        for p in range(part.nparts):
+            for q in range(part.nparts):
+                assert np.array_equal(halo.send_map(p, q), halo.recv_map(q, p))
+
+    def test_recv_maps_partition_ghosts(self):
+        part, halo = self._halo()
+        for p in range(part.nparts):
+            pieces = [halo.recv_map(p, q) for q in halo.neighbors(p)]
+            pieces = [x for x in pieces if len(x)]
+            got = np.sort(np.concatenate(pieces)) if pieces else np.empty(0, np.int64)
+            assert np.array_equal(got, np.sort(halo.ghost_nodes(p)))
+
+    def test_recv_nodes_owned_by_neighbor(self):
+        part, halo = self._halo()
+        for p in range(part.nparts):
+            for q in halo.neighbors(p):
+                nodes = halo.recv_map(p, q)
+                assert np.all(part.node_part[nodes] == q)
+
+    def test_partition_neighbors_symmetric(self):
+        part, _ = self._halo()
+        for p in range(part.nparts):
+            for q in part.neighbors(p):
+                assert p in part.neighbors(int(q))
+
+    def test_meter_counts_gather_bytes(self):
+        part, halo = self._halo()
+        field = np.zeros(part.footprint.num_nodes)
+        halo.gather(1, field)
+        expected = len(halo.ghost_nodes(1)) * 8
+        assert int(halo.meter.received[1]) == expected
+        assert halo.meter.channel_bytes["vector_gather"] == expected
+        assert halo.meter.events["gather"] == 1
+
+    def test_meter_counts_2d_fields(self):
+        part, halo = self._halo()
+        field = np.zeros((part.footprint.num_nodes, 2))
+        halo.gather(1, field)
+        assert int(halo.meter.received[1]) == len(halo.ghost_nodes(1)) * 2 * 8
+
+    def test_meter_summary_is_jsonable(self):
+        import json
+
+        part, halo = self._halo()
+        halo.gather(2, np.zeros(part.footprint.num_nodes))
+        s = halo.meter.summary()
+        json.dumps(s)
+        assert s["nparts"] == part.nparts
+        assert s["total_bytes"] == sum(s["channel_bytes"].values())
+
+    def test_shared_meter(self):
+        part, _ = self._halo()
+        meter = TrafficMeter(part.nparts)
+        halo = HaloExchange(part, meter)
+        assert halo.meter is meter
+
+
+class TestScatterAddDtype:
+    """scatter_add must preserve the promoted dtype of its inputs."""
+
+    def _setup(self, nparts=2):
+        part = partition_footprint(quad_footprint(4, 4, 1.0, 1.0), nparts)
+        return part, HaloExchange(part)
+
+    def test_complex_not_truncated(self):
+        part, halo = self._setup()
+        contribs = [
+            (np.arange(len(halo.local_nodes(p)), dtype=np.complex128) * (1.0 + 2.0j))
+            for p in range(part.nparts)
+        ]
+        out = halo.scatter_add(contribs)
+        assert out.dtype == np.complex128
+        assert np.abs(out.imag).max() > 0.0
+
+    def test_mixed_dtypes_promote(self):
+        part, halo = self._setup()
+        contribs = [
+            np.ones(len(halo.local_nodes(0)), dtype=np.float32),
+            np.ones(len(halo.local_nodes(1)), dtype=np.float64),
+        ]
+        assert halo.scatter_add(contribs).dtype == np.float64
+
+    def test_2d_ndof_fields(self):
+        part, halo = self._setup()
+        rng = np.random.default_rng(11)
+        contribs = [
+            rng.normal(size=(len(halo.local_nodes(p)), 2)) for p in range(part.nparts)
+        ]
+        out = halo.scatter_add(contribs)
+        assert out.shape == (part.footprint.num_nodes, 2)
+        # serial reference
+        ref = np.zeros_like(out)
+        for p in range(part.nparts):
+            np.add.at(ref, halo.local_nodes(p), contribs[p])
+        assert np.array_equal(out, ref)
+
+    def test_mismatched_trailing_dims_rejected(self):
+        part, halo = self._setup()
+        contribs = [
+            np.zeros((len(halo.local_nodes(0)), 2)),
+            np.zeros((len(halo.local_nodes(1)), 3)),
+        ]
+        with pytest.raises(ValueError):
+            halo.scatter_add(contribs)
+
+
+class TestHaloStatistics:
+    def test_counts_match_exchange(self):
+        part = partition_footprint(quad_footprint(8, 8, 1.0, 1.0), 4)
+        halo = HaloExchange(part)
+        stats = halo_statistics(part)
+        assert stats.nparts == 4
+        for p in range(4):
+            assert stats.ghost_nodes[p] == len(halo.ghost_nodes(p))
+            assert stats.owned_elems[p] == len(part.owned_elems(p))
+        assert sum(stats.owned_elems) == part.footprint.num_elems
+
+    def test_ghost_bytes_formula(self):
+        part = partition_footprint(quad_footprint(8, 8, 1.0, 1.0), 2)
+        stats = halo_statistics(part)
+        per_rank = stats.ghost_bytes_per_exchange(levels=5, ndof=2)
+        assert per_rank == [g * 5 * 2 * 8 for g in stats.ghost_nodes]
+
+    def test_to_dict_jsonable(self):
+        import json
+
+        stats = halo_statistics(partition_footprint(quad_footprint(8, 8, 1.0, 1.0), 4))
+        json.dumps(stats.to_dict())
+        assert stats.elem_imbalance >= 1.0

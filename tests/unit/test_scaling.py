@@ -51,6 +51,21 @@ class TestProjections:
         assert pts[-1].t_step < pts[0].t_step
         assert pts[-1].cells_per_gpu == 1_024_000 // 16
 
+    def test_strong_scaling_ceiling_division(self, model):
+        """The slowest rank carries ceil(total/P) cells, not floor.
+
+        Regression: flooring under-counted the critical rank whenever P
+        did not divide the cell count (1000 cells on 3 ranks -> one rank
+        has 334, and that rank sets the step time).
+        """
+        pts = model.strong_scaling(1000, [3, 7])
+        assert pts[0].cells_per_gpu == 334  # ceil(1000/3), not 333
+        assert pts[1].cells_per_gpu == 143  # ceil(1000/7), not 142
+        # never below the uniform split
+        for total, p in [(1_024_001, 16), (17, 4)]:
+            pt = model.strong_scaling(total, [p])[0]
+            assert pt.cells_per_gpu * p >= total
+
     def test_efficiency_modes(self, model):
         pts = model.weak_scaling(128_000, [1, 8])
         with pytest.raises(ValueError):
@@ -66,3 +81,44 @@ class TestProjections:
         fast_pts = ScalingModel(A100).weak_scaling(64_000, [16])
         slow_pts = ScalingModel(A100, interconnect=slow).weak_scaling(64_000, [16])
         assert slow_pts[0].t_step > fast_pts[0].t_step
+
+
+class TestMeasuredHalo:
+    """Measured partition statistics replacing the analytic ghost guess."""
+
+    def test_halo_time_accepts_measured_ghosts(self):
+        model = ScalingModel(A100, levels=6)
+        analytic = model.halo_time_per_step(10_000, 4)
+        measured = model.halo_time_per_step(10_000, 4, ghost_columns=1.0)
+        assert measured < analytic  # tiny measured halo -> cheaper exchange
+        assert model.halo_time_per_step(10_000, 1, ghost_columns=50.0) == 0.0
+
+    def test_partitioned_strong_scaling_uses_real_partitions(self):
+        from repro.mesh import quad_footprint
+        from repro.mesh.partition import halo_statistics, partition_footprint
+
+        fp = quad_footprint(16, 16, 1.0, 1.0)
+        model = ScalingModel(A100, levels=6)
+        pts = model.partitioned_strong_scaling(fp, [1, 2, 4])
+        nz = model.levels - 1
+        for pt in pts:
+            assert pt.halo_source == "measured"
+            stats = halo_statistics(partition_footprint(fp, pt.num_gpus))
+            assert pt.cells_per_gpu == max(stats.owned_elems) * nz
+            if pt.num_gpus == 1:
+                assert pt.ghost_columns is None
+                assert pt.t_halo == 0.0
+            else:
+                assert pt.ghost_columns == stats.max_ghost_nodes
+                assert pt.t_halo > 0.0
+
+    def test_measured_point_differs_from_analytic(self):
+        from repro.mesh import quad_footprint
+
+        fp = quad_footprint(16, 16, 1.0, 1.0)
+        model = ScalingModel(A100, levels=6)
+        measured = model.partitioned_strong_scaling(fp, [4])[0]
+        analytic = model.strong_scaling(fp.num_elems * (model.levels - 1), [4])[0]
+        assert analytic.halo_source == "analytic"
+        # the RCB halo of a quarter of a 16x16 grid is not 4 sqrt(A)
+        assert measured.ghost_columns != pytest.approx(analytic.ghost_columns)

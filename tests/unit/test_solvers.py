@@ -274,6 +274,89 @@ class TestMultigrid:
             SemicoarseningMultigrid([])
 
 
+class TestHorizontalAggregates:
+    """Straggler handling: no spurious singleton aggregates."""
+
+    @staticmethod
+    def _aggregate_sizes(A, ndof=1, theta=0.02):
+        from repro.solvers.multigrid import horizontal_aggregates
+
+        dof_agg, coarse = horizontal_aggregates(A, ndof=ndof, theta=theta)
+        agg_of_node = dof_agg.reshape(-1, ndof)[:, 0] // ndof
+        return np.bincount(agg_of_node, minlength=coarse // ndof), coarse
+
+    @staticmethod
+    def _path_graph(n):
+        rows, cols, vals = [], [], []
+        for i in range(n):
+            rows.append(i), cols.append(i), vals.append(2.0)
+            for j in (i - 1, i + 1):
+                if 0 <= j < n:
+                    rows.append(i), cols.append(j), vals.append(-1.0)
+        return CsrMatrix.from_coo(rows, cols, vals, (n, n))
+
+    @staticmethod
+    def _grid_laplacian(nx, ny):
+        n = nx * ny
+        rows, cols, vals = [], [], []
+        for j in range(ny):
+            for i in range(nx):
+                v = j * nx + i
+                deg = 0
+                for di, dj in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+                    ii, jj = i + di, j + dj
+                    if 0 <= ii < nx and 0 <= jj < ny:
+                        rows.append(v), cols.append(jj * nx + ii), vals.append(-1.0)
+                        deg += 1
+                rows.append(v), cols.append(v), vals.append(float(deg) + 0.5)
+        return CsrMatrix.from_coo(rows, cols, vals, (n, n))
+
+    def test_path_stragglers_join_neighbors(self):
+        """On a path graph the greedy sweep leaves end-of-path stragglers;
+        they must join a neighboring aggregate, not seed singletons."""
+        sizes, coarse = self._aggregate_sizes(self._path_graph(5))
+        assert coarse == 2  # {0,1,4-straggler? no: {0,1}, {2,3}+4}
+        assert sizes.min() >= 2
+        assert sizes.sum() == 5
+
+    def test_grid_has_no_singletons(self):
+        """Regression: the old first pass aggregated every node (stragglers
+        always seeded new aggregates), so boundary nodes became singletons
+        that inflated the coarse operator."""
+        sizes, _ = self._aggregate_sizes(self._grid_laplacian(7, 7))
+        assert sizes.sum() == 49
+        assert sizes.min() >= 2  # connected graph: no singletons at all
+
+    def test_aggregate_size_distribution_reasonable(self):
+        sizes, coarse = self._aggregate_sizes(self._grid_laplacian(10, 10))
+        assert sizes.sum() == 100
+        # greedy star aggregation on a 5-point stencil: aggregates between
+        # 2 (merged straggler pairs) and 9 (star + absorbed stragglers)
+        assert 2 <= sizes.min() and sizes.max() <= 9
+        # coarsening actually coarsens: at least 2x reduction (no
+        # singletons means every aggregate halves its nodes or better)
+        assert coarse <= 100 // 2
+
+    def test_isolated_nodes_still_covered(self):
+        """A node with no strong connections seeds its own aggregate."""
+        rows = [0, 1, 1, 2, 2]
+        cols = [0, 1, 2, 1, 2]
+        vals = [1.0, 2.0, -1.0, -1.0, 2.0]  # node 0 disconnected
+        A = CsrMatrix.from_coo(rows, cols, vals, (3, 3))
+        sizes, coarse = self._aggregate_sizes(A)
+        assert sizes.sum() == 3
+        assert coarse == 2  # {0} isolated, {1,2}
+
+    def test_ndof_blocks_move_together(self):
+        from repro.solvers.multigrid import horizontal_aggregates
+
+        A = _extruded_operator(ncols=6, levels=1, ndof=2, aniso=1.0)
+        dof_agg, coarse = horizontal_aggregates(A, ndof=2)
+        pairs = dof_agg.reshape(-1, 2)
+        assert np.all(pairs[:, 1] == pairs[:, 0] + 1)
+        assert coarse % 2 == 0
+
+
 class TestNewton:
     def test_scalarish_quadratic(self):
         """Solve x^2 - 4 = 0 componentwise (diagonal Jacobian)."""
