@@ -13,6 +13,12 @@ ways and reports:
   invariant: one jacobian sweep per accepted step, one residual sweep
   per line-search trial (plus the initial residual).
 
+Wall time comes from the observability span tracer rather than an ad-hoc
+``perf_counter`` pair: each variant's solve runs inside an
+``obs.tracing()`` session, the end-to-end number is the ``bench.solve``
+span, and the recorded span aggregate plus the solve's own
+``diagnostics["observability"]`` snapshot land in the JSON artifact.
+
 Artifacts land in ``benchmarks/results/solver_hotpath.{json,csv}``.
 Run standalone for a quick smoke (well under a minute)::
 
@@ -22,10 +28,10 @@ Run standalone for a quick smoke (well under a minute)::
 from __future__ import annotations
 
 import json
-import time
 from dataclasses import replace
 from pathlib import Path
 
+from repro import observability as obs
 from repro.app.antarctica import AntarcticaTest
 from repro.app.config import AntarcticaConfig, VelocityConfig
 from repro.perf.report import format_table, write_csv
@@ -52,18 +58,23 @@ def run_hotpath(config: AntarcticaConfig = SMOKE_CONFIG) -> dict:
     for fused in (True, False):
         cfg = replace(config, velocity=replace(config.velocity, fused_assembly=fused))
         test = AntarcticaTest.build(cfg)
-        t0 = time.perf_counter()
-        sol = test.run()
-        wall = time.perf_counter() - t0
+        obs.get_metrics().reset()  # per-variant snapshot, not cumulative
+        with obs.tracing() as tracer:
+            with tracer.span("bench.solve", variant="fused" if fused else "unfused") as sp:
+                sol = test.run()
         d = sol.diagnostics
         out["fused" if fused else "unfused"] = {
-            "wall_seconds": wall,
+            "wall_seconds": sp.dur_s,
             "solve_seconds": d["solve_seconds"],
             "newton_steps": sol.newton.iterations,
             "newton_steps_per_s": d["newton_steps_per_s"],
             "phase_seconds": d["phase_seconds"],
             "eval_sweeps": d["eval_sweeps"],
             "mean_velocity": sol.mean_velocity,
+            "span_totals": {
+                name: agg["total_s"] for name, agg in tracer.aggregate().items()
+            },
+            "observability": d["observability"],
         }
     out["speedup"] = out["unfused"]["solve_seconds"] / out["fused"]["solve_seconds"]
     return out

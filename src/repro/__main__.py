@@ -10,7 +10,13 @@ Regenerates the paper's tables/figures without the pytest harness:
     python -m repro fig3        # rooflines (CSV-ready series + ASCII)
     python -m repro fig5        # time-oriented portability plane
     python -m repro solve       # the Antarctica velocity solve (coarse)
+    python -m repro profile     # traced coarse solve -> Chrome trace JSON
     python -m repro all
+
+``profile`` runs the coarse Antarctica solve under the observability
+span tracer and writes a Chrome trace-event file (open it at
+https://ui.perfetto.dev) plus per-span and metrics summaries; see
+``python -m repro profile --help`` for the knobs.
 """
 
 from __future__ import annotations
@@ -164,10 +170,72 @@ def solve() -> None:
     print(f"mean |u| = {sol.mean_velocity:.6f} m/yr  regression: {'PASS' if passed else 'FAIL'}")
 
 
+def profile(
+    out: str = "trace.json",
+    jsonl: str | None = None,
+    resolution_km: float = 300.0,
+    layers: int = 5,
+    nparts: int = 1,
+) -> None:
+    """Traced coarse Antarctica solve -> Chrome trace + text summaries."""
+    import dataclasses
+
+    from repro import observability as obs
+    from repro.app import AntarcticaConfig, AntarcticaTest
+    from repro.app.config import VelocityConfig
+
+    cfg = AntarcticaConfig(
+        resolution_km=resolution_km,
+        num_layers=layers,
+        velocity=dataclasses.replace(VelocityConfig(), nparts=nparts),
+    )
+    obs.get_metrics().reset()
+    with obs.tracing() as tracer:
+        with tracer.span("antarctica.build", resolution_km=resolution_km, layers=layers):
+            test = AntarcticaTest.build(cfg)
+        sol = test.run()
+    spans = tracer.spans
+    snapshot = obs.get_metrics().snapshot()
+    path = obs.write_chrome_trace(out, spans, metrics=snapshot)
+    if jsonl:
+        obs.write_jsonl(jsonl, spans)
+        print(f"span log:     {jsonl} ({len(spans)} spans)")
+    print(f"chrome trace: {path} ({len(spans)} spans) -- open at https://ui.perfetto.dev")
+    print(f"mean |u| = {sol.mean_velocity:.6f} m/yr over {sol.diagnostics['num_cells']} cells")
+    print()
+    print(obs.summary_table(spans, wall_s=sol.diagnostics["solve_seconds"]))
+    print()
+    print(obs.ascii_flame(spans))
+    print()
+    print(obs.metrics_table(snapshot))
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
-    ap.add_argument("artifact", choices=["table2", "table3", "table4", "fig3", "fig5", "solve", "all"])
+    ap.add_argument(
+        "artifact",
+        choices=["table2", "table3", "table4", "fig3", "fig5", "solve", "profile", "all"],
+    )
+    ap.add_argument("--out", default="trace.json", help="profile: Chrome trace output path")
+    ap.add_argument("--jsonl", default=None, help="profile: also write a JSON-lines span log")
+    ap.add_argument(
+        "--resolution-km", type=float, default=300.0, help="profile: footprint resolution [km]"
+    )
+    ap.add_argument("--layers", type=int, default=5, help="profile: extruded layer count")
+    ap.add_argument(
+        "--nparts", type=int, default=1,
+        help="profile: SPMD rank count (>1 traces per-neighbor halo exchanges)",
+    )
     args = ap.parse_args(argv)
+    if args.artifact == "profile":
+        profile(
+            out=args.out,
+            jsonl=args.jsonl,
+            resolution_km=args.resolution_km,
+            layers=args.layers,
+            nparts=args.nparts,
+        )
+        return 0
     if args.artifact == "all":
         profiles = _profiles()
         table2()

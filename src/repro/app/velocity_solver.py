@@ -14,7 +14,6 @@ Pipeline per nonlinear iteration, mirroring Albany:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -28,6 +27,7 @@ from repro.fem.sparse import CsrMatrix
 from repro.mesh.extrude import ExtrudedMesh
 from repro.mesh.geometry import IceGeometry
 from repro.mesh.partition import TrafficMeter, halo_statistics, partition_footprint
+from repro.observability import get_metrics, get_tracer
 from repro.physics.evaluators import Workset, build_stokes_field_manager
 from repro.physics.viscosity import flow_factor_arrhenius
 from repro.solvers.multigrid import ColumnCollapseMdsc, build_mdsc_amg
@@ -138,9 +138,12 @@ class StokesVelocityProblem:
         # so algebraic coarsening stays well conditioned
         self.bc_diag_scale = self._probe_diag_scale()
 
-        #: full evaluator-DAG sweeps over the mesh, by mode
+        #: full evaluator-DAG sweeps over the mesh, by mode.  Like
+        #: :attr:`phase_seconds`, reset at the start of every
+        #: :meth:`solve` so both report per-solve numbers (calls made
+        #: outside a solve accumulate until the next one).
         self.eval_counts = {"residual": 0, "jacobian": 0}
-        #: cumulative wall time of the evaluate and scatter phases
+        #: wall time of the evaluate and scatter phases, per solve
         self.phase_seconds = {"evaluate": 0.0, "scatter": 0.0}
 
     def _probe_diag_scale(self) -> float:
@@ -222,25 +225,26 @@ class StokesVelocityProblem:
 
     def residual(self, u: np.ndarray) -> np.ndarray:
         """Global residual F(u) with Dirichlet rows replaced by u - 0."""
+        tr = get_tracer()
         if self.spmd is not None:
-            t0 = time.perf_counter()
-            blocks = self._rank_blocks(u, "residual")
-            self.phase_seconds["evaluate"] += time.perf_counter() - t0
+            with tr.span("stokes.evaluate", mode="residual", spmd=True) as sp:
+                blocks = self._rank_blocks(u, "residual")
+            self.phase_seconds["evaluate"] += sp.dur_s
             self.eval_counts["residual"] += 1
-            t0 = time.perf_counter()
-            f = self.spmd.assemble_residual(blocks)
-            f[self.bc_dofs] = self.bc_diag_scale * u[self.bc_dofs]
-            self.phase_seconds["scatter"] += time.perf_counter() - t0
+            with tr.span("stokes.scatter", mode="residual", spmd=True) as sp:
+                f = self.spmd.assemble_residual(blocks)
+                f[self.bc_dofs] = self.bc_diag_scale * u[self.bc_dofs]
+            self.phase_seconds["scatter"] += sp.dur_s
             return f
         local = np.empty((self.mesh.num_elems, self.dofmap.dofs_per_elem))
-        t0 = time.perf_counter()
-        for start, stop, ws in self._worksets(u, "residual"):
-            local[start:stop] = ws.out_residual
-        self.phase_seconds["evaluate"] += time.perf_counter() - t0
+        with tr.span("stokes.evaluate", mode="residual") as sp:
+            for start, stop, ws in self._worksets(u, "residual"):
+                local[start:stop] = ws.out_residual
+        self.phase_seconds["evaluate"] += sp.dur_s
         self.eval_counts["residual"] += 1
-        t0 = time.perf_counter()
-        f = self._finish_residual(local, u)
-        self.phase_seconds["scatter"] += time.perf_counter() - t0
+        with tr.span("stokes.scatter", mode="residual") as sp:
+            f = self._finish_residual(local, u)
+        self.phase_seconds["scatter"] += sp.dur_s
         return f
 
     def jacobian(self, u: np.ndarray):
@@ -250,25 +254,26 @@ class StokesVelocityProblem:
         :class:`DistributedMatrix` whose SpMV and gathered operator are
         bitwise equal to the serial matrix.
         """
+        tr = get_tracer()
         if self.spmd is not None:
-            t0 = time.perf_counter()
-            blocks = self._rank_blocks(u, "jacobian")
-            self.phase_seconds["evaluate"] += time.perf_counter() - t0
+            with tr.span("stokes.evaluate", mode="jacobian", spmd=True) as sp:
+                blocks = self._rank_blocks(u, "jacobian")
+            self.phase_seconds["evaluate"] += sp.dur_s
             self.eval_counts["jacobian"] += 1
-            t0 = time.perf_counter()
-            A = self.spmd.assemble_jacobian(blocks, diag_scale=self.bc_diag_scale)
-            self.phase_seconds["scatter"] += time.perf_counter() - t0
+            with tr.span("stokes.scatter", mode="jacobian", spmd=True) as sp:
+                A = self.spmd.assemble_jacobian(blocks, diag_scale=self.bc_diag_scale)
+            self.phase_seconds["scatter"] += sp.dur_s
             return A
         k = self.dofmap.dofs_per_elem
         local = np.empty((self.mesh.num_elems, k, k))
-        t0 = time.perf_counter()
-        for start, stop, ws in self._worksets(u, "jacobian"):
-            local[start:stop] = ws.out_jacobian
-        self.phase_seconds["evaluate"] += time.perf_counter() - t0
+        with tr.span("stokes.evaluate", mode="jacobian") as sp:
+            for start, stop, ws in self._worksets(u, "jacobian"):
+                local[start:stop] = ws.out_jacobian
+        self.phase_seconds["evaluate"] += sp.dur_s
         self.eval_counts["jacobian"] += 1
-        t0 = time.perf_counter()
-        A = self.plan.assemble_matrix(local, diag_scale=self.bc_diag_scale)
-        self.phase_seconds["scatter"] += time.perf_counter() - t0
+        with tr.span("stokes.scatter", mode="jacobian") as sp:
+            A = self.plan.assemble_matrix(local, diag_scale=self.bc_diag_scale)
+        self.phase_seconds["scatter"] += sp.dur_s
         return A
 
     def residual_and_jacobian(self, u: np.ndarray):
@@ -280,30 +285,33 @@ class StokesVelocityProblem:
         to the host-side solve, which previously paid a second full
         residual-mode sweep per Newton step.
         """
+        tr = get_tracer()
         if self.spmd is not None:
-            t0 = time.perf_counter()
-            blocks = self._rank_blocks(u, "jacobian_fused")
-            self.phase_seconds["evaluate"] += time.perf_counter() - t0
+            with tr.span("stokes.evaluate", mode="jacobian_fused", spmd=True) as sp:
+                blocks = self._rank_blocks(u, "jacobian_fused")
+            self.phase_seconds["evaluate"] += sp.dur_s
             self.eval_counts["jacobian"] += 1
-            t0 = time.perf_counter()
-            f = self.spmd.assemble_residual([r for r, _ in blocks])
-            f[self.bc_dofs] = self.bc_diag_scale * u[self.bc_dofs]
-            A = self.spmd.assemble_jacobian([j for _, j in blocks], diag_scale=self.bc_diag_scale)
-            self.phase_seconds["scatter"] += time.perf_counter() - t0
+            with tr.span("stokes.scatter", mode="jacobian_fused", spmd=True) as sp:
+                f = self.spmd.assemble_residual([r for r, _ in blocks])
+                f[self.bc_dofs] = self.bc_diag_scale * u[self.bc_dofs]
+                A = self.spmd.assemble_jacobian(
+                    [j for _, j in blocks], diag_scale=self.bc_diag_scale
+                )
+            self.phase_seconds["scatter"] += sp.dur_s
             return f, A
         k = self.dofmap.dofs_per_elem
         local_r = np.empty((self.mesh.num_elems, k))
         local_j = np.empty((self.mesh.num_elems, k, k))
-        t0 = time.perf_counter()
-        for start, stop, ws in self._worksets(u, "jacobian"):
-            local_r[start:stop] = ws.out_residual
-            local_j[start:stop] = ws.out_jacobian
-        self.phase_seconds["evaluate"] += time.perf_counter() - t0
+        with tr.span("stokes.evaluate", mode="jacobian_fused") as sp:
+            for start, stop, ws in self._worksets(u, "jacobian"):
+                local_r[start:stop] = ws.out_residual
+                local_j[start:stop] = ws.out_jacobian
+        self.phase_seconds["evaluate"] += sp.dur_s
         self.eval_counts["jacobian"] += 1
-        t0 = time.perf_counter()
-        f = self._finish_residual(local_r, u)
-        A = self.plan.assemble_matrix(local_j, diag_scale=self.bc_diag_scale)
-        self.phase_seconds["scatter"] += time.perf_counter() - t0
+        with tr.span("stokes.scatter", mode="jacobian_fused") as sp:
+            f = self._finish_residual(local_r, u)
+            A = self.plan.assemble_matrix(local_j, diag_scale=self.bc_diag_scale)
+        self.phase_seconds["scatter"] += sp.dur_s
         return f, A
 
     def _finish_residual(self, local: np.ndarray, u: np.ndarray) -> np.ndarray:
@@ -316,6 +324,11 @@ class StokesVelocityProblem:
         cfg = self.config
         if cfg.preconditioner == "none":
             return None
+        with get_tracer().span("precond.setup", kind=cfg.preconditioner):
+            return self._build_preconditioner(A)
+
+    def _build_preconditioner(self, A):
+        cfg = self.config
         if isinstance(A, DistributedMatrix):
             # replicated preconditioner setup from the gathered operator
             # (bitwise equal to the serial matrix); the gather is metered
@@ -349,29 +362,43 @@ class StokesVelocityProblem:
         evaluates residual and Jacobian in a single SFad sweep; the
         per-phase wall-time breakdown (evaluate / scatter /
         preconditioner / gmres) lands in ``diagnostics["phase_seconds"]``.
+        All phase times come from observability spans, so running inside
+        ``repro.observability.tracing()`` additionally records the full
+        nested timeline; a metrics snapshot is always embedded in
+        ``diagnostics["observability"]``.
         """
         cfg = self.config
         if u0 is None:
             u0 = np.zeros(self.dofmap.num_dofs)
 
+        # per-solve lifecycle for BOTH phase times and sweep counts: two
+        # successive solves each report their own numbers, never
+        # cumulative ones (regression-tested)
         self.phase_seconds = {"evaluate": 0.0, "scatter": 0.0}
-        eval_counts_before = dict(self.eval_counts)
-        t_solve = time.perf_counter()
-        newton = newton_solve(
-            self.residual,
-            self.jacobian,
-            u0,
-            max_steps=cfg.newton_steps,
-            tol=cfg.newton_tol,
-            linear_tol=cfg.linear_tol,
-            gmres_restart=cfg.gmres_restart,
-            gmres_maxiter=cfg.gmres_maxiter,
-            preconditioner_fn=self._preconditioner,
-            callback=callback,
-            residual_jacobian_fn=self.residual_and_jacobian if cfg.fused_assembly else None,
-            reducer=self.reducer,
-        )
-        solve_seconds = time.perf_counter() - t_solve
+        self.eval_counts = {"residual": 0, "jacobian": 0}
+        tr = get_tracer()
+        with tr.span(
+            "velocity.solve",
+            num_dofs=self.dofmap.num_dofs,
+            num_cells=self.mesh.num_elems,
+            nparts=cfg.nparts,
+            fused=cfg.fused_assembly,
+        ) as solve_span:
+            newton = newton_solve(
+                self.residual,
+                self.jacobian,
+                u0,
+                max_steps=cfg.newton_steps,
+                tol=cfg.newton_tol,
+                linear_tol=cfg.linear_tol,
+                gmres_restart=cfg.gmres_restart,
+                gmres_maxiter=cfg.gmres_maxiter,
+                preconditioner_fn=self._preconditioner,
+                callback=callback,
+                residual_jacobian_fn=self.residual_and_jacobian if cfg.fused_assembly else None,
+                reducer=self.reducer,
+            )
+        solve_seconds = solve_span.dur_s
         u = newton.x
         speeds = np.hypot(*self.dofmap.nodal_view(u).T)
         surf = self.mesh.surface_nodes()
@@ -390,9 +417,11 @@ class StokesVelocityProblem:
             "solve_seconds": solve_seconds,
             "newton_steps_per_s": newton.iterations / solve_seconds if solve_seconds > 0 else 0.0,
             "phase_seconds": phase_seconds,
-            "eval_sweeps": {
-                mode: self.eval_counts[mode] - eval_counts_before[mode]
-                for mode in ("residual", "jacobian")
+            "eval_sweeps": dict(self.eval_counts),
+            "observability": {
+                "tracing_active": tr.recording,
+                "spans_recorded": len(tr.spans),
+                "metrics": get_metrics().snapshot(),
             },
         }
         if self.spmd is not None:

@@ -57,6 +57,7 @@ import numpy as np
 from repro.fem.assembly import AssemblyPlan
 from repro.fem.sparse import CsrMatrix
 from repro.mesh.partition import HaloExchange, Partition, TrafficMeter
+from repro.observability import get_tracer
 
 __all__ = ["DistributedStokesAssembly", "DistributedMatrix"]
 
@@ -241,10 +242,19 @@ class DistributedStokesAssembly:
     # -- exchanges -----------------------------------------------------
     def record_ghost_refresh(self) -> None:
         """Meter one ghost-dof refresh (Import) before an evaluation sweep."""
-        for p in range(self.nparts):
-            for q, count in self._gather_ghost[p].items():
-                self.meter.record("vector_gather", q, p, count * _FP64)
-        self.meter.count_event("gather")
+        tr = get_tracer()
+        with tr.span("halo.ghost_refresh", cat="halo", nparts=self.nparts):
+            for p in range(self.nparts):
+                for q, count in self._gather_ghost[p].items():
+                    nbytes = count * _FP64
+                    if tr.recording:
+                        with tr.span(
+                            "halo.recv", cat="halo", rank=p, src=int(q), bytes=nbytes
+                        ):
+                            self.meter.record("vector_gather", q, p, nbytes)
+                    else:
+                        self.meter.record("vector_gather", q, p, nbytes)
+            self.meter.count_event("gather")
 
     def _stream(self, groups, length, rank_blocks) -> np.ndarray:
         """Assemble one owner's entry stream from the sources' blocks."""
@@ -261,15 +271,23 @@ class DistributedStokesAssembly:
         is bitwise equal to ``plan.assemble_vector`` on the unpartitioned
         block array.  Ghost exports are metered per neighbor.
         """
+        tr = get_tracer()
         f = np.zeros(self.num_dofs)
-        for p in range(self.nparts):
-            for q, nbytes in self._res_export[p].items():
-                self.meter.record("vector_scatter", q, p, nbytes)
-            stream = self._stream(self._res_groups[p], len(self._res_rows[p]), rank_blocks)
-            f[self._owned_dofs[p]] = np.bincount(
-                self._res_rows[p], weights=stream, minlength=len(self._owned_dofs[p])
-            )
-        self.meter.count_event("residual_exchange")
+        with tr.span("spmd.assemble_residual", cat="halo", nparts=self.nparts):
+            for p in range(self.nparts):
+                for q, nbytes in self._res_export[p].items():
+                    if tr.recording:
+                        with tr.span(
+                            "halo.send", cat="halo", rank=int(q), dst=p, bytes=nbytes
+                        ):
+                            self.meter.record("vector_scatter", q, p, nbytes)
+                    else:
+                        self.meter.record("vector_scatter", q, p, nbytes)
+                stream = self._stream(self._res_groups[p], len(self._res_rows[p]), rank_blocks)
+                f[self._owned_dofs[p]] = np.bincount(
+                    self._res_rows[p], weights=stream, minlength=len(self._owned_dofs[p])
+                )
+            self.meter.count_event("residual_exchange")
         return f
 
     def assemble_jacobian(
@@ -281,23 +299,31 @@ class DistributedStokesAssembly:
         restricted to its rows (same per-slot summation order, same
         Dirichlet masking).  Ghost-row exports are metered per neighbor.
         """
+        tr = get_tracer()
         data_parts = []
-        for p in range(self.nparts):
-            for q, nbytes in self._jac_export[p].items():
-                self.meter.record("matrix_export", q, p, nbytes)
-            stream = self._stream(self._jac_groups[p], len(self._jac_slots[p]), rank_blocks)
-            data = np.bincount(
-                self._jac_slots[p], weights=stream, minlength=len(self._gslots[p])
-            )
-            if diag_scale is not None:
-                if self._bc_clear[p] is None:
-                    raise ValueError("plan was built without Dirichlet dofs")
-                if diag_scale <= 0.0:
-                    raise ValueError("diag_scale must be positive")
-                data[self._bc_clear[p]] = 0.0
-                data[self._bc_diag[p]] = diag_scale
-            data_parts.append(data)
-        self.meter.count_event("jacobian_exchange")
+        with tr.span("spmd.assemble_jacobian", cat="halo", nparts=self.nparts):
+            for p in range(self.nparts):
+                for q, nbytes in self._jac_export[p].items():
+                    if tr.recording:
+                        with tr.span(
+                            "halo.send", cat="halo", rank=int(q), dst=p, bytes=nbytes
+                        ):
+                            self.meter.record("matrix_export", q, p, nbytes)
+                    else:
+                        self.meter.record("matrix_export", q, p, nbytes)
+                stream = self._stream(self._jac_groups[p], len(self._jac_slots[p]), rank_blocks)
+                data = np.bincount(
+                    self._jac_slots[p], weights=stream, minlength=len(self._gslots[p])
+                )
+                if diag_scale is not None:
+                    if self._bc_clear[p] is None:
+                        raise ValueError("plan was built without Dirichlet dofs")
+                    if diag_scale <= 0.0:
+                        raise ValueError("diag_scale must be positive")
+                    data[self._bc_clear[p]] = 0.0
+                    data[self._bc_diag[p]] = diag_scale
+                data_parts.append(data)
+            self.meter.count_event("jacobian_exchange")
         return DistributedMatrix(self, data_parts)
 
 
@@ -345,11 +371,22 @@ class DistributedMatrix:
             raise ValueError(f"matvec expects a vector of length {self.shape[1]}")
         a = self.assembly
         y = np.zeros(self.shape[0])
-        for p in range(a.nparts):
-            for q, count in a._spmv_ghost[p].items():
-                a.meter.record("vector_gather", q, p, count * _FP64)
-            y[a._owned_dofs[p]] = self.local_matrix(p).matvec(x[a._colmap[p]])
-        a.meter.count_event("spmv")
+        tr = get_tracer()
+        # the SpMV is GMRES's inner loop: keep the untraced path free of
+        # span bookkeeping beyond the single enclosing handle
+        with tr.span("spmd.spmv", cat="halo", nparts=a.nparts):
+            for p in range(a.nparts):
+                for q, count in a._spmv_ghost[p].items():
+                    nbytes = count * _FP64
+                    if tr.recording:
+                        with tr.span(
+                            "halo.recv", cat="halo", rank=p, src=int(q), bytes=nbytes
+                        ):
+                            a.meter.record("vector_gather", q, p, nbytes)
+                    else:
+                        a.meter.record("vector_gather", q, p, nbytes)
+                y[a._owned_dofs[p]] = self.local_matrix(p).matvec(x[a._colmap[p]])
+            a.meter.count_event("spmv")
         return y
 
     def __matmul__(self, x):

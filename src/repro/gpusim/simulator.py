@@ -19,6 +19,7 @@ from repro.gpusim.specs import GPUSpec
 from repro.gpusim.timing import KernelTiming, estimate_time
 from repro.gpusim.trace import ThreadProgram, record_kernel_trace
 from repro.kokkos.policy import LaunchBounds
+from repro.observability import get_metrics, get_tracer
 
 __all__ = ["ProblemSize", "ANTARCTICA_16KM", "KernelProfile", "GPUSimulator"]
 
@@ -109,13 +110,21 @@ class GPUSimulator:
         if launch_bounds is None:
             launch_bounds = default_launch_bounds(variant.mode)
 
-        program: ThreadProgram = record_kernel_trace(
-            variant.key, num_nodes=problem.num_nodes, num_qps=problem.num_qps
-        )
-        alloc = allocate_registers(self.spec, variant, launch_bounds)
-        occ = compute_occupancy(self.spec, alloc, problem.num_cells)
-        dm = measure_data_movement(program, self.spec, occ, problem.num_cells)
-        timing = estimate_time(self.spec, variant, program, alloc, occ, dm, problem.num_cells)
+        with get_tracer().span(
+            "gpusim.run", cat="gpusim", variant=variant.key, gpu=self.spec.name
+        ):
+            program: ThreadProgram = record_kernel_trace(
+                variant.key, num_nodes=problem.num_nodes, num_qps=problem.num_qps
+            )
+            alloc = allocate_registers(self.spec, variant, launch_bounds)
+            occ = compute_occupancy(self.spec, alloc, problem.num_cells)
+            dm = measure_data_movement(program, self.spec, occ, problem.num_cells)
+            timing = estimate_time(self.spec, variant, program, alloc, occ, dm, problem.num_cells)
+
+        metrics = get_metrics()
+        metrics.counter("gpusim.kernel_runs").inc()
+        metrics.histogram("gpusim.l1_hit_fraction").observe(dm.l1_hit_fraction)
+        metrics.histogram("gpusim.l2_hit_fraction").observe(dm.l2_hit_fraction)
 
         return KernelProfile(
             gpu=self.spec.name,

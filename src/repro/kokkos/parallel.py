@@ -3,21 +3,41 @@
 Kernels are launched with a named dispatch onto an execution space; the
 name shows up in profiles exactly like Kokkos kernel labels do in Nsight
 or rocprof output.
+
+Every dispatch emits paired begin/end events to the profiling hook
+registry (:mod:`repro.observability.hooks`), mirroring the Kokkos Tools
+``kokkosp_begin/end_parallel_for`` ABI.  With the registry inactive a
+launch pays a single attribute read.  The legacy :data:`KERNEL_LOG`
+list is kept as a thin shim implemented as a hook subscriber; detach it
+with :func:`disable_kernel_log` for a fully silent dispatch path.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.kokkos.policy import RangePolicy
 from repro.kokkos.space import ExecutionSpace, HostVector
 from repro.kokkos.view import View, deep_copy_view
+from repro.observability import hooks
 
-__all__ = ["parallel_for", "parallel_reduce", "deep_copy", "fence", "Sum", "Max", "Min", "KERNEL_LOG"]
+__all__ = [
+    "parallel_for",
+    "parallel_reduce",
+    "deep_copy",
+    "fence",
+    "Sum",
+    "Max",
+    "Min",
+    "KERNEL_LOG",
+    "disable_kernel_log",
+    "enable_kernel_log",
+]
 
 _DEFAULT_SPACE = HostVector()
+_REGISTRY = hooks.registry()
 
 
 @dataclass
@@ -28,7 +48,31 @@ class _KernelLaunch:
 
 
 #: Chronological log of kernel launches (profiling aid, cleared by tests).
+#: Populated by the :class:`_KernelLogShim` hook subscriber below; the
+#: hook registry is the primary channel, this list the back-compat view.
 KERNEL_LOG: list[_KernelLaunch] = []
+
+
+class _KernelLogShim(hooks.ToolSubscriber):
+    """Mirrors every kernel dispatch into :data:`KERNEL_LOG` (legacy API)."""
+
+    def begin_parallel_for(self, name, extent, space, kid):
+        KERNEL_LOG.append(_KernelLaunch(name, extent, space))
+
+    begin_parallel_reduce = begin_parallel_for
+
+
+_KERNEL_LOG_SHIM = _REGISTRY.subscribe(_KernelLogShim())
+
+
+def disable_kernel_log() -> None:
+    """Detach the KERNEL_LOG shim (leaves other subscribers untouched)."""
+    _REGISTRY.unsubscribe(_KERNEL_LOG_SHIM)
+
+
+def enable_kernel_log() -> None:
+    """Re-attach the KERNEL_LOG shim subscriber."""
+    _REGISTRY.subscribe(_KERNEL_LOG_SHIM)
 
 
 class Sum:
@@ -65,8 +109,15 @@ def parallel_for(name: str, policy, functor, space: ExecutionSpace | None = None
     """Execute ``functor`` over ``policy`` on ``space`` (default vectorized host)."""
     policy = _coerce_policy(policy)
     space = space or _DEFAULT_SPACE
-    KERNEL_LOG.append(_KernelLaunch(name, policy.extent, space.name))
-    space.run_range(policy, functor)
+    reg = _REGISTRY
+    if reg.active:
+        kid = reg.begin_parallel_for(name, policy.extent, space.name)
+        try:
+            space.run_range(policy, functor)
+        finally:
+            reg.end_parallel_for(kid)
+    else:
+        space.run_range(policy, functor)
 
 
 def parallel_reduce(
@@ -83,13 +134,51 @@ def parallel_reduce(
     """
     policy = _coerce_policy(policy)
     space = space or _DEFAULT_SPACE
-    KERNEL_LOG.append(_KernelLaunch(name, policy.extent, space.name))
+    reg = _REGISTRY
+    if reg.active:
+        kid = reg.begin_parallel_reduce(name, policy.extent, space.name)
+        try:
+            return space.run_range_reduce(policy, functor, reducer, reducer.identity)
+        finally:
+            reg.end_parallel_reduce(kid)
     return space.run_range_reduce(policy, functor, reducer, reducer.identity)
 
 
+def _view_nbytes(v: View) -> int:
+    data = getattr(v, "data", None)
+    if data is None:
+        return 0
+    val = getattr(data, "val", None)
+    if val is not None:  # FadArray: value block plus derivative block
+        return int(val.nbytes) + int(data.dx.nbytes)
+    return int(getattr(data, "nbytes", 0))
+
+
 def deep_copy(dst: View, src: View) -> None:
-    deep_copy_view(dst, src)
+    """Copy ``src`` into ``dst`` (Kokkos ``deep_copy``), emitting hook events."""
+    reg = _REGISTRY
+    if reg.active:
+        kid = reg.begin_deep_copy(dst.name, src.name, _view_nbytes(dst))
+        try:
+            deep_copy_view(dst, src)
+        finally:
+            reg.end_deep_copy(kid)
+    else:
+        deep_copy_view(dst, src)
 
 
-def fence() -> None:
-    """Global fence; host spaces are synchronous so this is a no-op."""
+def fence(name: str = "repro.fence") -> None:
+    """Global fence, emitted as a paired begin/end hook event.
+
+    Host-synchronous semantics: every execution space in this
+    reproduction dispatches synchronously -- ``parallel_for`` returns
+    only after the functor has run over the whole range -- so by the
+    time ``fence`` is called there is no outstanding work and it
+    completes immediately.  It exists so code written against the
+    Kokkos API keeps its synchronization points, and so traces show
+    where fences would sit (and cost time) on an asynchronous device
+    backend.
+    """
+    reg = _REGISTRY
+    if reg.active:
+        reg.end_fence(reg.begin_fence(name))

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.mesh.planar import Footprint2D
+from repro.observability import get_metrics, get_tracer
 
 __all__ = [
     "Partition",
@@ -138,9 +139,14 @@ class TrafficMeter:
         if dst is not None:
             self.received[dst] += nbytes
         self.channel_bytes[channel] = self.channel_bytes.get(channel, 0) + nbytes
+        metrics = get_metrics()
+        metrics.counter(f"halo.bytes.{channel}").inc(nbytes)
+        if src is not None and dst is not None:
+            metrics.counter(f"halo.sent.r{src}.to.r{dst}").inc(nbytes)
 
     def count_event(self, name: str, n: int = 1) -> None:
         self.events[name] = self.events.get(name, 0) + n
+        get_metrics().counter(f"halo.events.{name}").inc(n)
 
     @property
     def total_bytes(self) -> int:
@@ -223,10 +229,19 @@ class HaloExchange:
         global_field = np.asarray(global_field)
         width = int(np.prod(global_field.shape[1:], dtype=np.int64)) or 1
         itemsize = global_field.dtype.itemsize
-        for q, nodes in self._recv[part].items():
-            self.meter.record("vector_gather", q, part, len(nodes) * width * itemsize)
-        self.meter.count_event("gather")
-        return np.array(global_field[self._local[part]])
+        tr = get_tracer()
+        with tr.span("halo.gather", cat="halo", rank=part):
+            for q, nodes in self._recv[part].items():
+                nbytes = len(nodes) * width * itemsize
+                if tr.recording:
+                    with tr.span(
+                        "halo.recv", cat="halo", rank=part, src=int(q), bytes=nbytes
+                    ):
+                        self.meter.record("vector_gather", q, part, nbytes)
+                else:
+                    self.meter.record("vector_gather", q, part, nbytes)
+            self.meter.count_event("gather")
+            return np.array(global_field[self._local[part]])
 
     def scatter_add(self, contributions: list[np.ndarray]) -> np.ndarray:
         """Sum per-part local contributions into a global nodal array.
@@ -247,16 +262,23 @@ class HaloExchange:
         dtype = np.result_type(*contributions) if contributions else np.float64
         out = np.zeros((nn,) + first.shape[1:], dtype=dtype)
         width = int(np.prod(first.shape[1:], dtype=np.int64)) or 1
-        for p, contrib in enumerate(contributions):
-            if len(contrib) != len(self._local[p]):
-                raise ValueError(f"part {p}: contribution length mismatch")
-            for q, nodes in self._recv[p].items():
-                # p exports its summed ghost rows to their owner q
-                self.meter.record(
-                    "vector_scatter", p, q, len(nodes) * width * dtype.itemsize
-                )
-            np.add.at(out, self._local[p], contrib)
-        self.meter.count_event("scatter_add")
+        tr = get_tracer()
+        with tr.span("halo.scatter_add", cat="halo", nparts=self.partition.nparts):
+            for p, contrib in enumerate(contributions):
+                if len(contrib) != len(self._local[p]):
+                    raise ValueError(f"part {p}: contribution length mismatch")
+                for q, nodes in self._recv[p].items():
+                    # p exports its summed ghost rows to their owner q
+                    nbytes = len(nodes) * width * dtype.itemsize
+                    if tr.recording:
+                        with tr.span(
+                            "halo.send", cat="halo", rank=p, dst=int(q), bytes=nbytes
+                        ):
+                            self.meter.record("vector_scatter", p, q, nbytes)
+                    else:
+                        self.meter.record("vector_scatter", p, q, nbytes)
+                np.add.at(out, self._local[p], contrib)
+            self.meter.count_event("scatter_add")
         return out
 
 

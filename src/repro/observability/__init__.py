@@ -1,0 +1,97 @@
+"""First-class observability: hooks, spans, metrics, trace export.
+
+The measurement layer the paper's methodology presumes (per-kernel time
+per invocation, bytes moved, phase breakdowns), built the way real
+Kokkos exposes it:
+
+* :mod:`~repro.observability.hooks` -- a Kokkos-Tools-style callback
+  registry every ``parallel_for`` / ``parallel_reduce`` / ``deep_copy``
+  / ``fence`` dispatch emits to, with zero overhead when no tool is
+  attached;
+* :mod:`~repro.observability.tracer` -- nested wall-time spans with
+  rank/thread labels and key=value attributes, covering the non-Kokkos
+  phases too (assembly scatter, preconditioner setup, GMRES iterations,
+  halo exchange, gpusim runs);
+* :mod:`~repro.observability.metrics` -- counters / gauges / histograms
+  with a single JSON-able ``snapshot()`` embedded in
+  ``VelocitySolution.diagnostics["observability"]``;
+* :mod:`~repro.observability.export` -- Chrome trace-event JSON (open
+  in Perfetto), JSON-lines, and ASCII flame/summary tables.
+
+Quick start::
+
+    from repro import observability as obs
+
+    with obs.tracing() as tracer:
+        solution = problem.solve()
+    obs.write_chrome_trace("trace.json", tracer.spans,
+                           metrics=obs.get_metrics().snapshot())
+
+or from the command line: ``python -m repro profile --out trace.json``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.observability import hooks
+from repro.observability.export import (
+    ascii_flame,
+    metrics_table,
+    summary_table,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.observability.hooks import HookRegistry, ToolSubscriber, region, registry
+from repro.observability.metrics import Counter, Gauge, Histogram, MetricsRegistry, get_metrics
+from repro.observability.tracer import Span, SpanTracer, TracerSubscriber, get_tracer
+
+__all__ = [
+    "hooks",
+    "HookRegistry",
+    "ToolSubscriber",
+    "registry",
+    "region",
+    "Span",
+    "SpanTracer",
+    "TracerSubscriber",
+    "get_tracer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_metrics",
+    "tracing",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "summary_table",
+    "ascii_flame",
+    "metrics_table",
+]
+
+
+@contextmanager
+def tracing(tracer: SpanTracer | None = None, attach_hooks: bool = True, clear: bool = True):
+    """Profiling session: record spans (and kernel hook events) for a block.
+
+    Clears the tracer, turns recording on, and -- unless ``attach_hooks``
+    is False -- subscribes a :class:`TracerSubscriber` to the hook
+    registry so kernel dispatches land on the same timeline.  Yields the
+    tracer; after the block, ``tracer.spans`` holds the trace and
+    recording is off again.
+    """
+    t = tracer if tracer is not None else get_tracer()
+    if clear:
+        t.clear()
+    t.start()
+    sub = TracerSubscriber(t) if attach_hooks else None
+    if sub is not None:
+        registry().subscribe(sub)
+    try:
+        yield t
+    finally:
+        t.stop()
+        if sub is not None:
+            registry().unsubscribe(sub)

@@ -1,0 +1,210 @@
+"""Trace exporters: Chrome trace-event JSON, JSON lines, ASCII summaries.
+
+Chrome trace-event files load directly in Perfetto (https://ui.perfetto.
+dev) or ``chrome://tracing``: each span becomes a ``"ph": "X"``
+*complete* event with microsecond ``ts``/``dur``, the SPMD rank as the
+``pid`` and the recording thread as the ``tid`` -- the same layout the
+kokkos-tools "chrome connector" and NVTX exporters produce, so the
+Newton timeline, per-kernel ``parallel_for`` spans and per-neighbor
+halo exchanges render as a nested flame graph.
+
+The ASCII renderings reuse :func:`repro.perf.report.format_table` so
+profile output reads like the rest of the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = [
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "summary_table",
+    "ascii_flame",
+    "metrics_table",
+]
+
+
+def to_chrome_trace(spans, metrics: dict | None = None, process_labels: dict | None = None) -> dict:
+    """Build the Chrome trace-event document for a span list.
+
+    ``metrics`` (a :meth:`MetricsRegistry.snapshot` dict) rides along in
+    ``otherData`` where Perfetto surfaces it as trace metadata.
+    ``process_labels`` maps pid -> display name (default ``rank <pid>``).
+    """
+    events = []
+    seen: set[tuple[int, int]] = set()
+    pids: set[int] = set()
+    for s in spans:
+        pids.add(s.pid)
+        if (s.pid, s.tid) not in seen:
+            seen.add((s.pid, s.tid))
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": s.pid,
+                    "tid": s.tid,
+                    "args": {"name": f"thread {s.tid}"},
+                }
+            )
+        events.append(
+            {
+                "name": s.name,
+                "cat": s.cat,
+                "ph": "X",
+                "ts": s.ts_us,
+                "dur": s.dur_us,
+                "pid": s.pid,
+                "tid": s.tid,
+                "args": dict(s.args, span_id=s.id, parent_id=s.parent, depth=s.depth),
+            }
+        )
+    labels = process_labels or {}
+    for pid in sorted(pids):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": labels.get(pid, f"rank {pid}")},
+            }
+        )
+    doc = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if metrics is not None:
+        doc["otherData"] = {"metrics": metrics}
+    return doc
+
+
+def write_chrome_trace(path, spans, metrics: dict | None = None, process_labels: dict | None = None) -> Path:
+    """Write the Chrome trace JSON (creates parent directories)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    doc = to_chrome_trace(spans, metrics=metrics, process_labels=process_labels)
+    path.write_text(json.dumps(doc) + "\n")
+    return path
+
+
+def write_jsonl(path, spans) -> Path:
+    """One JSON object per span, in completion order (a streamable log)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as f:
+        for s in spans:
+            f.write(
+                json.dumps(
+                    {
+                        "id": s.id,
+                        "name": s.name,
+                        "cat": s.cat,
+                        "ts_us": s.ts_us,
+                        "dur_us": s.dur_us,
+                        "pid": s.pid,
+                        "tid": s.tid,
+                        "parent": s.parent,
+                        "depth": s.depth,
+                        "args": s.args,
+                    }
+                )
+                + "\n"
+            )
+    return path
+
+
+def summary_table(spans, wall_s: float | None = None, top: int = 30, title: str | None = None) -> str:
+    """Per-name rollup table: count, total, mean, share of wall time."""
+    # deferred: repro.perf pulls in gpusim/core, which dispatch through
+    # repro.kokkos.parallel -- an import-time cycle with the hook registry
+    from repro.perf.report import format_table
+
+    agg: dict[str, list] = {}
+    for s in spans:
+        a = agg.setdefault(s.name, [s.cat, 0, 0.0])
+        a[1] += 1
+        a[2] += s.dur_s
+    if wall_s is None:
+        roots = [s.dur_s for s in spans if s.parent == -1]
+        wall_s = sum(roots) if roots else sum(a[2] for a in agg.values())
+    rows = []
+    for name, (cat, count, total) in sorted(agg.items(), key=lambda kv: -kv[1][2])[:top]:
+        share = total / wall_s if wall_s > 0 else 0.0
+        rows.append([name, cat, count, total, total / count, f"{share:.1%}"])
+    return format_table(
+        ["span", "cat", "count", "total [s]", "mean [s]", "share"],
+        rows,
+        title=title or "Span summary (by total time)",
+    )
+
+
+def ascii_flame(spans, wall_s: float | None = None, min_share: float = 0.002, width: int = 40) -> str:
+    """Aggregated call-path flame rendering of a span list.
+
+    Spans are merged by (path of names from the root), each line showing
+    an indentation-coded path segment, its inclusive total, and a bar
+    proportional to its share of the trace -- a text stand-in for the
+    Perfetto flame graph.  Paths below ``min_share`` of the wall time
+    are pruned.
+    """
+    by_id = {s.id: s for s in spans}
+
+    def path_of(s) -> tuple[str, ...]:
+        names = [s.name]
+        seen = {s.id}
+        while s.parent != -1:
+            s = by_id.get(s.parent)
+            if s is None or s.id in seen:
+                break
+            seen.add(s.id)
+            names.append(s.name)
+        return tuple(reversed(names))
+
+    totals: dict[tuple[str, ...], list] = {}
+    for s in spans:
+        a = totals.setdefault(path_of(s), [0, 0.0])
+        a[0] += 1
+        a[1] += s.dur_s
+    if wall_s is None:
+        wall_s = sum(t for p, (c, t) in totals.items() if len(p) == 1) or 1.0
+
+    lines = ["flame (inclusive totals; bar = share of trace)"]
+    for path in sorted(totals, key=lambda p: (p[:-1], -totals[p][1])):
+        count, total = totals[path]
+        share = total / wall_s if wall_s > 0 else 0.0
+        if share < min_share:
+            continue
+        bar = "#" * max(1, int(round(share * width)))
+        indent = "  " * (len(path) - 1)
+        lines.append(f"{total:10.4f}s {share:6.1%} x{count:<5d} {indent}{path[-1]} {bar}")
+    return "\n".join(lines)
+
+
+def metrics_table(snapshot: dict, title: str | None = None) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` as text tables."""
+    from repro.perf.report import format_table  # deferred, see summary_table
+
+    parts = []
+    counters = snapshot.get("counters", {})
+    if counters:
+        parts.append(
+            format_table(
+                ["counter", "value"],
+                [[k, v] for k, v in counters.items()],
+                title=title or "Metrics: counters",
+            )
+        )
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        parts.append(format_table(["gauge", "value"], [[k, v] for k, v in gauges.items()], title="Metrics: gauges"))
+    hists = snapshot.get("histograms", {})
+    if hists:
+        parts.append(
+            format_table(
+                ["histogram", "count", "mean", "min", "max", "sum"],
+                [[k, h["count"], h["mean"], h["min"], h["max"], h["sum"]] for k, h in hists.items()],
+                title="Metrics: histograms",
+            )
+        )
+    return "\n\n".join(parts) if parts else "(no metrics recorded)"

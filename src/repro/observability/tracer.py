@@ -1,0 +1,286 @@
+"""Span tracer: nested wall-time intervals with attributes.
+
+The tracer is the timeline half of the observability layer.  Code wraps
+phases in ``tracer.span(name, **attrs)`` context managers (or the
+``@tracer.instrument`` decorator); kernel dispatches arrive through a
+:class:`TracerSubscriber` attached to the hook registry, so one trace
+interleaves solver phases (Newton steps, GMRES cycles, halo exchanges)
+with per-kernel ``parallel_for`` intervals exactly the way a Kokkos
+Tools connector interleaves regions with kernel callbacks.
+
+Cost model: a span handle *always* measures its duration (two
+``perf_counter_ns`` reads) so phase accounting stays correct, but spans
+are stored -- with ids, parent links and depth for the exporters --
+only while ``recording`` is on.  Outside a profiling session the solver
+pays a handle allocation and two clock reads per phase and nothing
+grows without bound.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.observability.hooks import ToolSubscriber
+
+__all__ = ["Span", "SpanTracer", "TracerSubscriber", "get_tracer"]
+
+
+@dataclass
+class Span:
+    """One closed interval on the trace timeline.
+
+    ``ts_us`` / ``dur_us`` are microseconds on the tracer's monotonic
+    clock (zero at the last :meth:`SpanTracer.clear`), the unit Chrome
+    trace events use.  ``pid`` is the rank label and ``tid`` a small
+    per-thread integer; ``parent`` is the id of the enclosing span on
+    the same thread (-1 for roots) and ``depth`` its nesting level.
+    """
+
+    id: int
+    name: str
+    cat: str
+    ts_us: float
+    dur_us: float
+    pid: int
+    tid: int
+    depth: int
+    parent: int
+    args: dict = field(default_factory=dict)
+
+    @property
+    def end_us(self) -> float:
+        return self.ts_us + self.dur_us
+
+    @property
+    def dur_s(self) -> float:
+        return self.dur_us * 1.0e-6
+
+
+class _SpanHandle:
+    """Context manager for one span; reusable timing even when not recording."""
+
+    __slots__ = ("tracer", "name", "cat", "args", "id", "parent", "depth", "_t0_ns", "dur_ns")
+
+    def __init__(self, tracer: "SpanTracer", name: str, cat: str, args: dict):
+        self.tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.args = args
+        self.id = -1
+        self.dur_ns = 0
+
+    def __enter__(self) -> "_SpanHandle":
+        tr = self.tracer
+        if tr.recording:
+            stack = tr._stack()
+            self.id = tr._next_span_id()
+            if stack:
+                self.parent = stack[-1].id
+                self.depth = stack[-1].depth + 1
+            else:
+                self.parent = -1
+                self.depth = 0
+            stack.append(self)
+        self._t0_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        t1 = time.perf_counter_ns()
+        self.dur_ns = t1 - self._t0_ns
+        tr = self.tracer
+        if self.id >= 0:
+            stack = tr._stack()
+            if stack and stack[-1] is self:
+                stack.pop()
+            if tr.recording:
+                tr._emit(self, t1)
+
+    @property
+    def dur_s(self) -> float:
+        """Elapsed seconds; valid after the ``with`` block exits."""
+        return self.dur_ns * 1.0e-9
+
+
+class SpanTracer:
+    """Collects :class:`Span` intervals on a shared monotonic clock."""
+
+    def __init__(self, rank: int = 0):
+        self.rank = rank
+        self.recording = False
+        self.spans: list[Span] = []
+        self._epoch_ns = time.perf_counter_ns()
+        self._id_lock = threading.Lock()
+        self._next_id = 0
+        self._tls = threading.local()
+        self._tid_map: dict[int, int] = {}
+
+    # -- internals ------------------------------------------------------
+    def _stack(self) -> list:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def _next_span_id(self) -> int:
+        with self._id_lock:
+            sid = self._next_id
+            self._next_id += 1
+            return sid
+
+    def _tid(self) -> int:
+        ident = threading.get_ident()
+        tid = self._tid_map.get(ident)
+        if tid is None:
+            tid = self._tid_map[ident] = len(self._tid_map)
+        return tid
+
+    def _emit(self, handle: _SpanHandle, t1_ns: int) -> None:
+        ts_us = (t1_ns - handle.dur_ns - self._epoch_ns) * 1.0e-3
+        self.spans.append(
+            Span(
+                id=handle.id,
+                name=handle.name,
+                cat=handle.cat,
+                ts_us=ts_us,
+                dur_us=handle.dur_ns * 1.0e-3,
+                pid=self.rank,
+                tid=self._tid(),
+                depth=handle.depth,
+                parent=handle.parent,
+                args=handle.args,
+            )
+        )
+
+    # -- public API -----------------------------------------------------
+    def span(self, name: str, cat: str = "phase", **args) -> _SpanHandle:
+        """Open a span; use as ``with tracer.span("newton.step", step=k):``."""
+        return _SpanHandle(self, name, cat, args)
+
+    def instrument(self, fn=None, *, name: str | None = None, cat: str = "function"):
+        """Decorator wrapping every call of ``fn`` in a span."""
+        def deco(f):
+            label = name or f"{f.__module__.rsplit('.', 1)[-1]}.{f.__qualname__}"
+
+            @functools.wraps(f)
+            def wrapper(*a, **kw):
+                with self.span(label, cat=cat):
+                    return f(*a, **kw)
+
+            return wrapper
+
+        return deco(fn) if fn is not None else deco
+
+    def set_rank(self, rank: int) -> None:
+        """Label subsequent spans with an SPMD rank (Chrome trace pid)."""
+        self.rank = int(rank)
+
+    def start(self) -> None:
+        self.recording = True
+
+    def stop(self) -> None:
+        self.recording = False
+
+    def clear(self) -> None:
+        """Drop recorded spans and restart the trace clock at zero."""
+        self.spans = []
+        self._next_id = 0
+        self._tid_map = {}
+        self._tls = threading.local()
+        self._epoch_ns = time.perf_counter_ns()
+
+    def aggregate(self) -> dict[str, dict]:
+        """Per-name rollup of the recorded spans.
+
+        Returns ``{name: {count, total_s, mean_s, min_s, max_s, cat}}``
+        sorted by descending total time -- the numbers the ASCII summary
+        table and the hot-path bench report.
+        """
+        agg: dict[str, dict] = {}
+        for s in self.spans:
+            a = agg.get(s.name)
+            if a is None:
+                agg[s.name] = {
+                    "count": 1,
+                    "total_s": s.dur_s,
+                    "min_s": s.dur_s,
+                    "max_s": s.dur_s,
+                    "cat": s.cat,
+                }
+            else:
+                a["count"] += 1
+                a["total_s"] += s.dur_s
+                a["min_s"] = min(a["min_s"], s.dur_s)
+                a["max_s"] = max(a["max_s"], s.dur_s)
+        for a in agg.values():
+            a["mean_s"] = a["total_s"] / a["count"]
+        return dict(sorted(agg.items(), key=lambda kv: -kv[1]["total_s"]))
+
+
+class TracerSubscriber(ToolSubscriber):
+    """Bridges hook-registry events into tracer spans.
+
+    Kernel dispatches become ``cat="kernel"`` spans named after the
+    kernel label (so profiles read exactly like Nsight/rocprof output on
+    real Kokkos), fences ``cat="fence"``, deep copies ``cat="copy"`` and
+    user regions ``cat="region"``.  Begin/end pairing uses the registry's
+    kernel ids.
+    """
+
+    def __init__(self, tracer: SpanTracer):
+        self.tracer = tracer
+        self._open: dict[int, _SpanHandle] = {}
+        self._regions = threading.local()
+
+    def _begin(self, kid: int, name: str, cat: str, **args) -> None:
+        h = self.tracer.span(name, cat=cat, **args)
+        h.__enter__()
+        self._open[kid] = h
+
+    def _end(self, kid: int) -> None:
+        h = self._open.pop(kid, None)
+        if h is not None:
+            h.__exit__(None, None, None)
+
+    def begin_parallel_for(self, name, extent, space, kid):
+        self._begin(kid, name, "kernel", extent=extent, space=space, dispatch="parallel_for")
+
+    end_parallel_for = _end
+
+    def begin_parallel_reduce(self, name, extent, space, kid):
+        self._begin(kid, name, "kernel", extent=extent, space=space, dispatch="parallel_reduce")
+
+    end_parallel_reduce = _end
+
+    def begin_deep_copy(self, dst_name, src_name, nbytes, kid):
+        self._begin(kid, f"deep_copy {src_name}->{dst_name}", "copy", bytes=nbytes)
+
+    end_deep_copy = _end
+
+    def begin_fence(self, name, kid):
+        self._begin(kid, name, "fence")
+
+    end_fence = _end
+
+    def push_region(self, name):
+        stack = getattr(self._regions, "stack", None)
+        if stack is None:
+            stack = self._regions.stack = []
+        h = self.tracer.span(name, cat="region")
+        h.__enter__()
+        stack.append(h)
+
+    def pop_region(self):
+        stack = getattr(self._regions, "stack", None)
+        if stack:
+            stack.pop().__exit__(None, None, None)
+
+
+_TRACER = SpanTracer()
+
+
+def get_tracer() -> SpanTracer:
+    """The process-wide default tracer the solver stack emits to."""
+    return _TRACER

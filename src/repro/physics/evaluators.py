@@ -25,6 +25,7 @@ from repro.constants import RHO_G_KPA
 from repro.core.fields import JACOBIAN_FAD_SIZE, StokesFields
 from repro.core.jacobian import local_jacobian_blocks, local_residual_blocks, run_kernel
 from repro.kokkos.view import DOUBLE, View, fad_spec
+from repro.observability import get_tracer
 from repro.physics.viscosity import effective_strain_rate_squared, glen_viscosity
 
 __all__ = [
@@ -151,11 +152,16 @@ class FieldManager:
 
     def evaluate(self, ws: Workset) -> Workset:
         self.num_sweeps[ws.mode] += 1
+        tr = get_tracer()
         for ev in self.evaluators:
             for f in ev.requires:
                 if f not in ws.fields and f not in ("__workset__",):
                     raise KeyError(f"{ev!r} requires missing field {f!r}")
-            ev.evaluate(ws)
+            if tr.recording:
+                with tr.span(ev.name, cat="evaluator", mode=ws.mode):
+                    ev.evaluate(ws)
+            else:
+                ev.evaluate(ws)
         return ws
 
 

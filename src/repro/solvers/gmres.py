@@ -11,6 +11,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.observability import get_metrics, get_tracer
+
 __all__ = ["GmresResult", "gmres"]
 
 
@@ -84,76 +86,84 @@ def gmres(
     norms = [float(rnorm)]
     total_it = 0
     breakdown = False
+    tr = get_tracer()
+    it_counter = get_metrics().counter("gmres.iterations")
 
+    cycle = 0
     while rnorm > target and total_it < maxiter and not breakdown:
         m = min(restart, maxiter - total_it)
-        V = np.zeros((m + 1, n))
-        Z = np.zeros((m, n))  # preconditioned directions (flexible storage)
-        H = np.zeros((m + 1, m))
-        cs = np.zeros(m)
-        sn = np.zeros(m)
-        g = np.zeros(m + 1)
-        V[0] = r / rnorm
-        g[0] = rnorm
+        with tr.span("gmres.cycle", cycle=cycle, krylov_dim=m):
+            V = np.zeros((m + 1, n))
+            Z = np.zeros((m, n))  # preconditioned directions (flexible storage)
+            H = np.zeros((m + 1, m))
+            cs = np.zeros(m)
+            sn = np.zeros(m)
+            g = np.zeros(m + 1)
+            V[0] = r / rnorm
+            g[0] = rnorm
 
-        k_used = 0
-        for k in range(m):
-            Z[k] = precond(V[k])
-            w = matvec(Z[k])
-            # modified Gram-Schmidt
-            for i in range(k + 1):
-                H[i, k] = dot(w, V[i])
-                w -= H[i, k] * V[i]
-            H[k + 1, k] = norm(w)
-            if H[k + 1, k] > 1.0e-14 * max(1.0, abs(H[k, k])):
-                V[k + 1] = w / H[k + 1, k]
-            else:
-                # lucky breakdown: the Krylov subspace is (preconditioned-)
-                # A-invariant, so the least-squares solution over it is the
-                # best GMRES can ever reach from this right-hand side --
-                # iterating further would orthogonalize against zero
-                # vectors and waste matvecs.  Finish this column's
-                # rotations, solve, and stop.
-                breakdown = True
+            k_used = 0
+            for k in range(m):
+                with tr.span("gmres.iteration", it=total_it):
+                    Z[k] = precond(V[k])
+                    w = matvec(Z[k])
+                    # modified Gram-Schmidt
+                    for i in range(k + 1):
+                        H[i, k] = dot(w, V[i])
+                        w -= H[i, k] * V[i]
+                    H[k + 1, k] = norm(w)
+                    if H[k + 1, k] > 1.0e-14 * max(1.0, abs(H[k, k])):
+                        V[k + 1] = w / H[k + 1, k]
+                    else:
+                        # lucky breakdown: the Krylov subspace is
+                        # (preconditioned-) A-invariant, so the
+                        # least-squares solution over it is the best GMRES
+                        # can ever reach from this right-hand side --
+                        # iterating further would orthogonalize against
+                        # zero vectors and waste matvecs.  Finish this
+                        # column's rotations, solve, and stop.
+                        breakdown = True
 
-            # apply stored Givens rotations to the new column
-            for i in range(k):
-                t = cs[i] * H[i, k] + sn[i] * H[i + 1, k]
-                H[i + 1, k] = -sn[i] * H[i, k] + cs[i] * H[i + 1, k]
-                H[i, k] = t
-            # new rotation to annihilate H[k+1, k]
-            denom = np.hypot(H[k, k], H[k + 1, k])
-            if denom == 0.0:
-                cs[k], sn[k] = 1.0, 0.0
-            else:
-                cs[k], sn[k] = H[k, k] / denom, H[k + 1, k] / denom
-            H[k, k] = denom
-            H[k + 1, k] = 0.0
-            g[k + 1] = -sn[k] * g[k]
-            g[k] = cs[k] * g[k]
+                    # apply stored Givens rotations to the new column
+                    for i in range(k):
+                        t = cs[i] * H[i, k] + sn[i] * H[i + 1, k]
+                        H[i + 1, k] = -sn[i] * H[i, k] + cs[i] * H[i + 1, k]
+                        H[i, k] = t
+                    # new rotation to annihilate H[k+1, k]
+                    denom = np.hypot(H[k, k], H[k + 1, k])
+                    if denom == 0.0:
+                        cs[k], sn[k] = 1.0, 0.0
+                    else:
+                        cs[k], sn[k] = H[k, k] / denom, H[k + 1, k] / denom
+                    H[k, k] = denom
+                    H[k + 1, k] = 0.0
+                    g[k + 1] = -sn[k] * g[k]
+                    g[k] = cs[k] * g[k]
 
-            total_it += 1
-            k_used = k + 1
-            rnorm = abs(g[k + 1])
-            norms.append(float(rnorm))
-            if rnorm <= target or breakdown:
-                break
+                    total_it += 1
+                    it_counter.inc()
+                    k_used = k + 1
+                    rnorm = abs(g[k + 1])
+                    norms.append(float(rnorm))
+                if rnorm <= target or breakdown:
+                    break
 
-        # solve the small triangular system and update x; diagonal
-        # entries at rounding level (singular projection after a
-        # breakdown on a singular operator) contribute nothing and would
-        # otherwise blow up the back-substitution
-        y = np.zeros(k_used)
-        hmax = np.max(np.abs(np.diagonal(H)[:k_used])) if k_used else 0.0
-        for i in range(k_used - 1, -1, -1):
-            if abs(H[i, i]) <= 1.0e-12 * hmax:
-                y[i] = 0.0
-                continue
-            y[i] = (g[i] - H[i, i + 1 : k_used] @ y[i + 1 : k_used]) / H[i, i]
-        x = x + Z[:k_used].T @ y
+            # solve the small triangular system and update x; diagonal
+            # entries at rounding level (singular projection after a
+            # breakdown on a singular operator) contribute nothing and
+            # would otherwise blow up the back-substitution
+            y = np.zeros(k_used)
+            hmax = np.max(np.abs(np.diagonal(H)[:k_used])) if k_used else 0.0
+            for i in range(k_used - 1, -1, -1):
+                if abs(H[i, i]) <= 1.0e-12 * hmax:
+                    y[i] = 0.0
+                    continue
+                y[i] = (g[i] - H[i, i + 1 : k_used] @ y[i + 1 : k_used]) / H[i, i]
+            x = x + Z[:k_used].T @ y
 
-        r = b - matvec(x)
-        rnorm = norm(r)
-        norms[-1] = float(rnorm)  # replace estimate with true residual
+            r = b - matvec(x)
+            rnorm = norm(r)
+            norms[-1] = float(rnorm)  # replace estimate with true residual
+        cycle += 1
 
     return GmresResult(x, bool(rnorm <= target), total_it, norms)

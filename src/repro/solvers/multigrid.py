@@ -22,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.fem.sparse import CsrMatrix
+from repro.observability import get_tracer
 from repro.solvers.smoothers import JacobiSmoother, VerticalLineSmoother
 
 __all__ = ["MgLevel", "SemicoarseningMultigrid", "ColumnCollapseMdsc", "build_mdsc_amg"]
@@ -173,11 +174,12 @@ class ColumnCollapseMdsc:
 
     def apply(self, r: np.ndarray) -> np.ndarray:
         """Pre-smooth, coarse-correct on the collapsed membrane, post-smooth."""
-        x = self.smoother.smooth(self.A, r, np.zeros_like(r))
-        rr = r - self.A.matvec(x)
-        xc = self._coarse.solve(self.P.rmatvec(rr))
-        x = x + self.coarse_damping * self.P.matvec(xc)
-        return self.smoother.smooth(self.A, r, x)
+        with get_tracer().span("mdsc.vcycle", kind="column-collapse"):
+            x = self.smoother.smooth(self.A, r, np.zeros_like(r))
+            rr = r - self.A.matvec(x)
+            xc = self._coarse.solve(self.P.rmatvec(rr))
+            x = x + self.coarse_damping * self.P.matvec(xc)
+            return self.smoother.smooth(self.A, r, x)
 
     def describe(self) -> list[tuple[str, int, int]]:
         return [("vertical-line", self.A.shape[0], self.A.nnz), ("collapsed", self.P.shape[1], -1)]
@@ -245,7 +247,8 @@ class SemicoarseningMultigrid:
 
     def apply(self, r: np.ndarray) -> np.ndarray:
         """One V-cycle approximating ``A^-1 r``."""
-        return self._cycle(0, r)
+        with get_tracer().span("mdsc.vcycle", kind="amg", num_levels=len(self.levels)):
+            return self._cycle(0, r)
 
     def describe(self) -> list[tuple[str, int, int]]:
         """(kind, n, nnz) per level -- for reports and tests."""
@@ -269,34 +272,37 @@ def build_mdsc_amg(
     until single-layer, then horizontal aggregation coarsens to
     ``coarse_size``.
     """
-    mg_levels: list[MgLevel] = [
-        MgLevel(A, None, VerticalLineSmoother(A, levels * ndof, omega=vertical_omega), "vertical")
-    ]
-    cur_A, cur_levels = A, levels
-    # vertical semicoarsening phase
-    while cur_levels > 1:
-        agg, cl, ncoarse = vertical_aggregates(num_columns, cur_levels, ndof)
-        P = _aggregation_prolongator(cur_A.shape[0], agg, ncoarse)
-        P = _smooth_prolongator(cur_A, P)
-        Ac = _galerkin(cur_A, P)
-        cur_A, cur_levels = Ac, cl
-        smoother = (
-            VerticalLineSmoother(Ac, cl * ndof, omega=vertical_omega)
-            if cl > 1
-            else JacobiSmoother(Ac, omega=jacobi_omega, iters=2)
-        )
-        mg_levels.append(MgLevel(Ac, P, smoother, "vertical"))
+    with get_tracer().span("mdsc.build_hierarchy", n=A.shape[0], levels=levels):
+        mg_levels: list[MgLevel] = [
+            MgLevel(A, None, VerticalLineSmoother(A, levels * ndof, omega=vertical_omega), "vertical")
+        ]
+        cur_A, cur_levels = A, levels
+        # vertical semicoarsening phase
+        while cur_levels > 1:
+            agg, cl, ncoarse = vertical_aggregates(num_columns, cur_levels, ndof)
+            P = _aggregation_prolongator(cur_A.shape[0], agg, ncoarse)
+            P = _smooth_prolongator(cur_A, P)
+            Ac = _galerkin(cur_A, P)
+            cur_A, cur_levels = Ac, cl
+            smoother = (
+                VerticalLineSmoother(Ac, cl * ndof, omega=vertical_omega)
+                if cl > 1
+                else JacobiSmoother(Ac, omega=jacobi_omega, iters=2)
+            )
+            mg_levels.append(MgLevel(Ac, P, smoother, "vertical"))
 
-    # horizontal aggregation phase
-    while cur_A.shape[0] > coarse_size:
-        agg, ncoarse = horizontal_aggregates(cur_A, ndof, theta)
-        if ncoarse >= cur_A.shape[0]:  # no coarsening progress; stop
-            break
-        P = _aggregation_prolongator(cur_A.shape[0], agg, ncoarse)
-        P = _smooth_prolongator(cur_A, P)
-        Ac = _galerkin(cur_A, P)
-        mg_levels.append(MgLevel(Ac, P, JacobiSmoother(Ac, omega=jacobi_omega, iters=2), "horizontal"))
-        cur_A = Ac
+        # horizontal aggregation phase
+        while cur_A.shape[0] > coarse_size:
+            agg, ncoarse = horizontal_aggregates(cur_A, ndof, theta)
+            if ncoarse >= cur_A.shape[0]:  # no coarsening progress; stop
+                break
+            P = _aggregation_prolongator(cur_A.shape[0], agg, ncoarse)
+            P = _smooth_prolongator(cur_A, P)
+            Ac = _galerkin(cur_A, P)
+            mg_levels.append(
+                MgLevel(Ac, P, JacobiSmoother(Ac, omega=jacobi_omega, iters=2), "horizontal")
+            )
+            cur_A = Ac
 
-    mg_levels[-1] = MgLevel(mg_levels[-1].A, mg_levels[-1].P, mg_levels[-1].smoother, "coarse")
-    return SemicoarseningMultigrid(mg_levels)
+        mg_levels[-1] = MgLevel(mg_levels[-1].A, mg_levels[-1].P, mg_levels[-1].smoother, "coarse")
+        return SemicoarseningMultigrid(mg_levels)

@@ -14,11 +14,11 @@ Line-search trials still use the cheap residual-only path.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.observability import get_metrics, get_tracer
 from repro.solvers.gmres import gmres
 
 __all__ = ["NewtonResult", "newton_solve"]
@@ -39,7 +39,9 @@ class NewtonResult:
     #: step (the fused initial evaluation doubles as the step-0 Jacobian)
     num_jacobian_evals: int = 0
     #: wall time per solver phase: evaluate (residual/Jacobian callbacks),
-    #: preconditioner (setup per step), gmres (linear solves)
+    #: preconditioner (setup per step), gmres (linear solves).  Sourced
+    #: from observability spans (newton.evaluate / newton.precond_setup /
+    #: gmres.solve), so the numbers agree with a recorded trace exactly.
     phase_seconds: dict = field(default_factory=dict)
 
     @property
@@ -96,6 +98,8 @@ def newton_solve(
     gmres_dot = None if reducer is None else reducer.dot
     gmres_norm = None if reducer is None else reducer.norm
     phases = {"evaluate": 0.0, "preconditioner": 0.0, "gmres": 0.0}
+    tr = get_tracer()
+    metrics = get_metrics()
 
     x = np.array(x0, dtype=np.float64)
     res = NewtonResult(x, False, 0)
@@ -105,15 +109,15 @@ def newton_solve(
     # free (the residual is the value component of the same SFad sweep),
     # so a full solve performs exactly one DAG sweep per accepted step
     # plus one residual-only sweep per line-search trial
-    t0 = time.perf_counter()
-    if residual_jacobian_fn is not None:
-        f, J_next = residual_jacobian_fn(x)
-        res.num_jacobian_evals += 1
-    else:
-        f = residual_fn(x)
-        res.num_residual_evals += 1
-        J_next = None
-    phases["evaluate"] += time.perf_counter() - t0
+    with tr.span("newton.evaluate", what="initial") as sp:
+        if residual_jacobian_fn is not None:
+            f, J_next = residual_jacobian_fn(x)
+            res.num_jacobian_evals += 1
+        else:
+            f = residual_fn(x)
+            res.num_residual_evals += 1
+            J_next = None
+    phases["evaluate"] += sp.dur_s
     if not np.all(np.isfinite(f)):
         raise FloatingPointError(
             "non-finite residual at the initial guess; check inputs "
@@ -126,55 +130,60 @@ def newton_solve(
         return res
 
     for step in range(max_steps):
-        t0 = time.perf_counter()
-        if J_next is not None:
-            J, J_next = J_next, None
-        elif residual_jacobian_fn is not None:
-            # fused: one jacobian-mode sweep yields both outputs; its
-            # value component replaces the carried line-search residual
-            f, J = residual_jacobian_fn(x)
-            fnorm = float(norm_fn(f))
-            res.num_jacobian_evals += 1
-        else:
-            J = jacobian_fn(x)
-            res.num_jacobian_evals += 1
-        phases["evaluate"] += time.perf_counter() - t0
+        with tr.span("newton.step", step=step):
+            with tr.span("newton.evaluate", step=step) as sp:
+                if J_next is not None:
+                    J, J_next = J_next, None
+                elif residual_jacobian_fn is not None:
+                    # fused: one jacobian-mode sweep yields both outputs;
+                    # its value component replaces the carried
+                    # line-search residual
+                    f, J = residual_jacobian_fn(x)
+                    fnorm = float(norm_fn(f))
+                    res.num_jacobian_evals += 1
+                else:
+                    J = jacobian_fn(x)
+                    res.num_jacobian_evals += 1
+            phases["evaluate"] += sp.dur_s
 
-        t0 = time.perf_counter()
-        M = preconditioner_fn(J) if preconditioner_fn is not None else None
-        phases["preconditioner"] += time.perf_counter() - t0
+            with tr.span("newton.precond_setup", step=step) as sp:
+                M = preconditioner_fn(J) if preconditioner_fn is not None else None
+            phases["preconditioner"] += sp.dur_s
 
-        t0 = time.perf_counter()
-        lin = gmres(
-            J,
-            -f,
-            tol=linear_tol,
-            restart=gmres_restart,
-            maxiter=gmres_maxiter,
-            M=M,
-            dot=gmres_dot,
-            norm=gmres_norm,
-        )
-        phases["gmres"] += time.perf_counter() - t0
-        dx = lin.x
-        res.linear_iterations.append(lin.iterations)
+            with tr.span("gmres.solve", step=step) as sp:
+                lin = gmres(
+                    J,
+                    -f,
+                    tol=linear_tol,
+                    restart=gmres_restart,
+                    maxiter=gmres_maxiter,
+                    M=M,
+                    dot=gmres_dot,
+                    norm=gmres_norm,
+                )
+            phases["gmres"] += sp.dur_s
+            dx = lin.x
+            res.linear_iterations.append(lin.iterations)
+            metrics.histogram("gmres.iterations_per_solve").observe(lin.iterations)
 
-        # backtracking on ||F||
-        alpha = 1.0
-        while True:
-            x_trial = x + alpha * dx
-            t0 = time.perf_counter()
-            f_trial = residual_fn(x_trial)
-            phases["evaluate"] += time.perf_counter() - t0
-            res.num_residual_evals += 1
-            fnorm_trial = float(norm_fn(f_trial))
-            if fnorm_trial < (1.0 - 1.0e-4 * alpha) * fnorm or alpha <= damping_min:
-                break
-            alpha *= 0.5
-        x, f, fnorm = x_trial, f_trial, fnorm_trial
-        res.step_lengths.append(alpha)
-        res.residual_norms.append(fnorm)
-        res.iterations = step + 1
+            # backtracking on ||F||
+            alpha = 1.0
+            with tr.span("newton.line_search", step=step):
+                while True:
+                    x_trial = x + alpha * dx
+                    with tr.span("newton.evaluate", what="line_search") as sp:
+                        f_trial = residual_fn(x_trial)
+                    phases["evaluate"] += sp.dur_s
+                    res.num_residual_evals += 1
+                    fnorm_trial = float(norm_fn(f_trial))
+                    if fnorm_trial < (1.0 - 1.0e-4 * alpha) * fnorm or alpha <= damping_min:
+                        break
+                    alpha *= 0.5
+            x, f, fnorm = x_trial, f_trial, fnorm_trial
+            res.step_lengths.append(alpha)
+            res.residual_norms.append(fnorm)
+            res.iterations = step + 1
+            metrics.counter("newton.steps").inc()
         if callback is not None:
             callback(step, x, fnorm, lin)
         if fnorm <= tol:

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Minimal schema check for a ``python -m repro profile`` Chrome trace.
+
+Stdlib-only (CI runs it right after the profile step):
+
+.. code-block:: bash
+
+    python -m repro profile --out /tmp/trace.json
+    python tools/check_trace.py /tmp/trace.json
+
+Validates that the file is JSON, ``traceEvents`` is a non-empty list,
+every complete ("ph": "X") event carries the required fields with
+non-negative microsecond timestamps, and the trace actually contains
+the solve structure a profile run promises: ``newton.step`` phase spans
+and at least one kernel-category span from the hook registry.  Exits
+nonzero (with a reason on stderr) on any violation.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+# metadata ("ph": "M") events legitimately omit ts/dur
+REQUIRED_FIELDS = ("name", "ph", "pid", "tid")
+
+
+def check_trace(path: str) -> list[str]:
+    """Return a list of schema violations (empty = trace is valid)."""
+    errors: list[str] = []
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"cannot load {path}: {exc}"]
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return ["traceEvents missing, not a list, or empty"]
+
+    complete = [e for e in events if e.get("ph") == "X"]
+    if not complete:
+        errors.append('no complete ("ph": "X") span events')
+    for i, e in enumerate(events):
+        for f in REQUIRED_FIELDS:
+            if f not in e:
+                errors.append(f"event {i} missing field {f!r}: {e}")
+                break
+        if e.get("ph") == "X":
+            ts, dur = e.get("ts"), e.get("dur")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                errors.append(f"event {i} ({e.get('name')}): bad ts {ts!r}")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"event {i} ({e.get('name')}): bad dur {dur!r}")
+        if len(errors) >= 20:
+            errors.append("... (further errors suppressed)")
+            break
+
+    names = {e.get("name") for e in complete}
+    cats = {e.get("cat") for e in complete}
+    if "newton.step" not in names:
+        errors.append(f"no newton.step spans in trace (names: {sorted(names)[:10]}...)")
+    if "velocity.solve" not in names:
+        errors.append("no velocity.solve span in trace")
+    if "kernel" not in cats:
+        errors.append(f"no kernel-category spans in trace (cats: {sorted(map(str, cats))})")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print("usage: python tools/check_trace.py <trace.json>", file=sys.stderr)
+        return 2
+    errors = check_trace(argv[1])
+    if errors:
+        for e in errors:
+            print(f"check_trace: {e}", file=sys.stderr)
+        return 1
+    with open(argv[1]) as f:
+        n = len(json.load(f)["traceEvents"])
+    print(f"check_trace: OK ({n} events)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
