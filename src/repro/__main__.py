@@ -11,12 +11,22 @@ Regenerates the paper's tables/figures without the pytest harness:
     python -m repro fig5        # time-oriented portability plane
     python -m repro solve       # the Antarctica velocity solve (coarse)
     python -m repro profile     # traced coarse solve -> Chrome trace JSON
+    python -m repro chaos       # coarse solve under a fault schedule
     python -m repro all
 
 ``profile`` runs the coarse Antarctica solve under the observability
 span tracer and writes a Chrome trace-event file (open it at
 https://ui.perfetto.dev) plus per-span and metrics summaries; see
 ``python -m repro profile --help`` for the knobs.
+
+``chaos`` runs the coarse Antarctica SPMD solve twice -- fault-free,
+then with a named fault schedule armed on the process fault plane
+(``--schedule reference``: corrupted halo exchanges, a NaN-poisoned
+evaluator sweep, a killed rank) -- and reports every injection /
+detection / recovery event plus the recovered-vs-clean solution error.
+With ``--check`` it exits nonzero unless every scheduled fault fired
+and the recovered solution sits within ``10 x newton_tol`` of the
+fault-free one (the CI gate).
 """
 
 from __future__ import annotations
@@ -210,32 +220,130 @@ def profile(
     print(obs.metrics_table(snapshot))
 
 
+def chaos(
+    schedule: str = "reference",
+    seed: int = 2024,
+    resolution_km: float = 350.0,
+    layers: int = 4,
+    nparts: int = 4,
+    check: bool = False,
+) -> int:
+    """Coarse Antarctica SPMD solve under a named fault schedule.
+
+    Solves fault-free first, then arms the fault plane and solves again
+    with recovery enabled; prints every injection/detection/recovery
+    event and the recovered-vs-clean solution error.  Returns nonzero
+    (for ``--check``) if any scheduled fault went undelivered or the
+    recovered solution strays beyond ``10 x newton_tol`` (relative) from
+    the fault-free one.
+    """
+    import dataclasses
+
+    import numpy as np
+
+    from repro import resilience as res
+    from repro.app import AntarcticaConfig, AntarcticaTest
+    from repro.app.config import VelocityConfig
+
+    cfg = AntarcticaConfig(
+        resolution_km=resolution_km,
+        num_layers=layers,
+        velocity=dataclasses.replace(VelocityConfig(), nparts=nparts),
+    )
+    test = AntarcticaTest.build(cfg)
+    problem = test.problem
+    print(
+        f"fault-free solve: {nparts} ranks, {problem.dofmap.num_dofs} dofs, "
+        f"{problem.mesh.num_elems} cells"
+    )
+    clean = problem.solve()
+
+    if schedule not in res.SCHEDULES:
+        raise SystemExit(f"unknown schedule {schedule!r}; have {sorted(res.SCHEDULES)}")
+    sched = res.SCHEDULES[schedule](seed=seed, nparts=nparts)
+    policy = res.RecoveryPolicy()
+    print(f"chaos solve: schedule {schedule!r}, seed {seed}")
+    with res.fault_injection(sched, policy=policy) as plane:
+        sol = problem.solve(resilience=policy)
+        undelivered = [inj.describe() for inj in plane.schedule.pending()]
+
+    r = sol.diagnostics["resilience"]
+    rows = [
+        [
+            e["category"], e["kind"], e["site"],
+            ", ".join(f"{k}={v}" for k, v in e.items() if k not in ("category", "kind", "site")),
+        ]
+        for e in r["events"]
+    ]
+    print(format_table(
+        ["category", "kind", "site", "detail"],
+        rows,
+        title=(
+            f"chaos events: {r['injections']} injected / "
+            f"{r['detections']} detected / {r['recoveries']} recovered"
+        ),
+    ))
+
+    uref = max(1.0, float(np.max(np.abs(clean.u))))
+    rel_err = float(np.max(np.abs(sol.u - clean.u))) / uref
+    tol = 10.0 * cfg.velocity.newton_tol
+    print(f"dead ranks: {r['dead_ranks'] or 'none'}")
+    print(f"mean |u|: chaos {sol.mean_velocity:.6f} / clean {clean.mean_velocity:.6f} m/yr")
+    print(f"recovered-vs-clean solution error: {rel_err:.3e} (bar: {tol:.1e})")
+    ok = not undelivered and rel_err <= tol and r["recoveries"] > 0
+    if undelivered:
+        print(f"UNDELIVERED injections: {undelivered}")
+    print("chaos check:", "PASS" if ok else "FAIL")
+    return 0 if (ok or not check) else 1
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
     ap.add_argument(
         "artifact",
-        choices=["table2", "table3", "table4", "fig3", "fig5", "solve", "profile", "all"],
+        choices=["table2", "table3", "table4", "fig3", "fig5", "solve", "profile", "chaos", "all"],
     )
     ap.add_argument("--out", default="trace.json", help="profile: Chrome trace output path")
     ap.add_argument("--jsonl", default=None, help="profile: also write a JSON-lines span log")
     ap.add_argument(
-        "--resolution-km", type=float, default=300.0, help="profile: footprint resolution [km]"
+        "--resolution-km", type=float, default=None,
+        help="footprint resolution [km] (default: profile 300, chaos 350)",
     )
-    ap.add_argument("--layers", type=int, default=5, help="profile: extruded layer count")
     ap.add_argument(
-        "--nparts", type=int, default=1,
-        help="profile: SPMD rank count (>1 traces per-neighbor halo exchanges)",
+        "--layers", type=int, default=None,
+        help="extruded layer count (default: profile 5, chaos 4)",
+    )
+    ap.add_argument(
+        "--nparts", type=int, default=None,
+        help="SPMD rank count (default: profile 1, chaos 4)",
+    )
+    ap.add_argument(
+        "--schedule", default="reference", help="chaos: named fault schedule to arm"
+    )
+    ap.add_argument("--seed", type=int, default=2024, help="chaos: fault-schedule RNG seed")
+    ap.add_argument(
+        "--check", action="store_true",
+        help="chaos: exit nonzero unless all faults fired and the solve recovered",
     )
     args = ap.parse_args(argv)
     if args.artifact == "profile":
         profile(
             out=args.out,
             jsonl=args.jsonl,
-            resolution_km=args.resolution_km,
-            layers=args.layers,
-            nparts=args.nparts,
+            resolution_km=args.resolution_km if args.resolution_km is not None else 300.0,
+            layers=args.layers if args.layers is not None else 5,
+            nparts=args.nparts if args.nparts is not None else 1,
         )
         return 0
+    if args.artifact == "chaos":
+        return chaos(
+            schedule=args.schedule,
+            seed=args.seed,
+            resolution_km=args.resolution_km if args.resolution_km is not None else 350.0,
+            layers=args.layers if args.layers is not None else 4,
+            nparts=args.nparts if args.nparts is not None else 4,
+            check=args.check,
+        )
     if args.artifact == "all":
         profiles = _profiles()
         table2()

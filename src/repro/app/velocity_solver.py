@@ -30,6 +30,12 @@ from repro.mesh.partition import TrafficMeter, halo_statistics, partition_footpr
 from repro.observability import get_metrics, get_tracer
 from repro.physics.evaluators import Workset, build_stokes_field_manager
 from repro.physics.viscosity import flow_factor_arrhenius
+from repro.resilience.injectors import RankFailure, fault_plane
+from repro.resilience.policies import (
+    PreconditionerLadder,
+    ResilienceLog,
+    choose_survivor,
+)
 from repro.solvers.multigrid import ColumnCollapseMdsc, build_mdsc_amg
 from repro.solvers.newton import NewtonResult, newton_solve
 from repro.solvers.reductions import column_block_reducer
@@ -146,6 +152,14 @@ class StokesVelocityProblem:
         #: wall time of the evaluate and scatter phases, per solve
         self.phase_seconds = {"evaluate": 0.0, "scatter": 0.0}
 
+        #: SPMD ranks that failed mid-solve (graceful degradation state);
+        #: reset at the start of every :meth:`solve`
+        self._dead_ranks: set[int] = set()
+        #: active recovery policy / preconditioner fallback ladder, set
+        #: per solve by :meth:`solve` (None = fail-fast behavior)
+        self._resilience = None
+        self._precond_ladder = None
+
     def _probe_diag_scale(self) -> float:
         u0 = np.zeros(self.dofmap.num_dofs)
         for _, _, ws in self._worksets(u0, "jacobian"):
@@ -196,31 +210,91 @@ class StokesVelocityProblem:
             )
             yield a, b, self.field_manager.evaluate(ws)
 
+    def _sweep_owned(self, u: np.ndarray, mode: str, owned: np.ndarray):
+        """Evaluator sweep over one rank's owned cells.
+
+        The evaluator DAG is strictly per-element, so the result depends
+        only on ``owned`` -- whichever rank executes the sweep (the owner
+        or, after a rank failure, a survivor) produces bitwise-identical
+        blocks, which is what keeps degraded trajectories equal to
+        healthy ones.
+        """
+        k = self.dofmap.dofs_per_elem
+        if mode == "jacobian_fused":
+            loc_r = np.empty((len(owned), k))
+            loc_j = np.empty((len(owned), k, k))
+            for a, b, ws in self._worksets(u, "jacobian", cells=owned):
+                loc_r[a:b] = ws.out_residual
+                loc_j[a:b] = ws.out_jacobian
+            return loc_r, loc_j
+        if mode == "jacobian":
+            loc = np.empty((len(owned), k, k))
+            for a, b, ws in self._worksets(u, mode, cells=owned):
+                loc[a:b] = ws.out_jacobian
+            return loc
+        loc = np.empty((len(owned), k))
+        for a, b, ws in self._worksets(u, mode, cells=owned):
+            loc[a:b] = ws.out_residual
+        return loc
+
+    def _perturb_block(self, block, plane, rank: int, mode: str):
+        """Route a sweep's output through the ``sweep.output`` fault site."""
+        if not plane.active:
+            return block
+        if isinstance(block, tuple):
+            loc_r, loc_j = block
+            return plane.perturb("sweep.output", loc_r, rank=rank, mode=mode), loc_j
+        return plane.perturb("sweep.output", block, rank=rank, mode=mode)
+
+    def _mark_dead(self, p: int, plane) -> None:
+        """Record a rank failure and its redistribution decision."""
+        self._dead_ranks.add(p)
+        survivor = choose_survivor(self._dead_ranks, self.config.nparts)
+        log = plane.log
+        if log is not None:
+            log.record("detection", "rank_failure", "spmd.rank", rank=p)
+            if survivor is not None:
+                log.record(
+                    "recovery", "rank_redistribution", "spmd.rank",
+                    rank=p, survivor=survivor,
+                )
+            else:
+                log.record("recovery", "serial_fallback", "spmd.rank", rank=p)
+        get_metrics().counter("resilience.dead_ranks").inc()
+
     def _rank_blocks(self, u: np.ndarray, mode: str) -> list:
         """Per-rank evaluator sweeps over owned cells (the SPMD scatter
-        sources).  Returns residual blocks, Jacobian blocks, or both."""
-        k = self.dofmap.dofs_per_elem
+        sources).  Returns residual blocks, Jacobian blocks, or both.
+
+        Graceful degradation: a rank killed by the fault plane is marked
+        dead for the rest of the solve and its owned cells are swept by
+        the lowest-numbered survivor (serial fallback when none remain).
+        Because sweeps are per-element and the scatter order is fixed by
+        the assembly routes, the degraded result is bitwise equal to the
+        healthy one.
+        """
         self.spmd.record_ghost_refresh()
+        plane = fault_plane()
+        if not plane.active and not self._dead_ranks:
+            # disarmed fast path: one attribute read, no per-rank pokes
+            return [
+                self._sweep_owned(u, mode, self.spmd.owned_elems(p))
+                for p in range(self.config.nparts)
+            ]
         blocks = []
         for p in range(self.config.nparts):
             owned = self.spmd.owned_elems(p)
-            if mode == "jacobian_fused":
-                loc_r = np.empty((len(owned), k))
-                loc_j = np.empty((len(owned), k, k))
-                for a, b, ws in self._worksets(u, "jacobian", cells=owned):
-                    loc_r[a:b] = ws.out_residual
-                    loc_j[a:b] = ws.out_jacobian
-                blocks.append((loc_r, loc_j))
-            elif mode == "jacobian":
-                loc = np.empty((len(owned), k, k))
-                for a, b, ws in self._worksets(u, mode, cells=owned):
-                    loc[a:b] = ws.out_jacobian
-                blocks.append(loc)
-            else:
-                loc = np.empty((len(owned), k))
-                for a, b, ws in self._worksets(u, mode, cells=owned):
-                    loc[a:b] = ws.out_residual
-                blocks.append(loc)
+            if plane.active and p not in self._dead_ranks:
+                try:
+                    plane.poke("spmd.rank", rank=p, mode=mode)
+                except RankFailure:
+                    self._mark_dead(p, plane)
+            executor = p
+            if p in self._dead_ranks:
+                survivor = choose_survivor(self._dead_ranks, self.config.nparts)
+                executor = survivor if survivor is not None else p
+            block = self._sweep_owned(u, mode, owned)
+            blocks.append(self._perturb_block(block, plane, executor, mode))
         return blocks
 
     def residual(self, u: np.ndarray) -> np.ndarray:
@@ -240,6 +314,9 @@ class StokesVelocityProblem:
         with tr.span("stokes.evaluate", mode="residual") as sp:
             for start, stop, ws in self._worksets(u, "residual"):
                 local[start:stop] = ws.out_residual
+        plane = fault_plane()
+        if plane.active:
+            local = plane.perturb("sweep.output", local, rank=0, mode="residual")
         self.phase_seconds["evaluate"] += sp.dur_s
         self.eval_counts["residual"] += 1
         with tr.span("stokes.scatter", mode="residual") as sp:
@@ -269,6 +346,9 @@ class StokesVelocityProblem:
         with tr.span("stokes.evaluate", mode="jacobian") as sp:
             for start, stop, ws in self._worksets(u, "jacobian"):
                 local[start:stop] = ws.out_jacobian
+        plane = fault_plane()
+        if plane.active:
+            local = plane.perturb("sweep.output", local, rank=0, mode="jacobian")
         self.phase_seconds["evaluate"] += sp.dur_s
         self.eval_counts["jacobian"] += 1
         with tr.span("stokes.scatter", mode="jacobian") as sp:
@@ -306,6 +386,11 @@ class StokesVelocityProblem:
             for start, stop, ws in self._worksets(u, "jacobian"):
                 local_r[start:stop] = ws.out_residual
                 local_j[start:stop] = ws.out_jacobian
+        plane = fault_plane()
+        if plane.active:
+            local_r = plane.perturb(
+                "sweep.output", local_r, rank=0, mode="jacobian_fused"
+            )
         self.phase_seconds["evaluate"] += sp.dur_s
         self.eval_counts["jacobian"] += 1
         with tr.span("stokes.scatter", mode="jacobian_fused") as sp:
@@ -325,22 +410,40 @@ class StokesVelocityProblem:
         if cfg.preconditioner == "none":
             return None
         with get_tracer().span("precond.setup", kind=cfg.preconditioner):
-            return self._build_preconditioner(A)
+            if self._resilience is None:
+                return self._build_preconditioner(A)
+            # recovery ladder: configured factory -> Jacobi -> none.  A
+            # failing MDSC setup degrades convergence instead of killing
+            # the solve; every fallback is logged by the ladder.
+            if self._precond_ladder is None:
+                rungs: list[tuple[str, object]] = [
+                    (cfg.preconditioner, self._build_preconditioner)
+                ]
+                if cfg.preconditioner != "jacobi":
+                    rungs.append(
+                        ("jacobi", lambda M: self._build_preconditioner(M, kind="jacobi"))
+                    )
+                rungs.append(("none", None))
+                self._precond_ladder = PreconditionerLadder(
+                    rungs, log=self._resilience.log
+                )
+            return self._precond_ladder(A)
 
-    def _build_preconditioner(self, A):
+    def _build_preconditioner(self, A, kind: str | None = None):
         cfg = self.config
+        kind = kind if kind is not None else cfg.preconditioner
         if isinstance(A, DistributedMatrix):
             # replicated preconditioner setup from the gathered operator
             # (bitwise equal to the serial matrix); the gather is metered
             # on the matrix_gather channel
             A = A.gather_global()
-        if cfg.preconditioner == "jacobi":
+        if kind == "jacobi":
             return JacobiSmoother(A, iters=3)
-        if cfg.preconditioner == "vline":
+        if kind == "vline":
             # the MDSC vertical-line relaxation: with ice-sheet aspect
             # ratios the exact column solve is a near-ideal preconditioner
             return VerticalLineSmoother(A, self.mesh.levels * 2, iters=2)
-        if cfg.preconditioner == "mdsc":
+        if kind == "mdsc":
             return ColumnCollapseMdsc(
                 A,
                 num_columns=self.mesh.footprint.num_nodes,
@@ -355,7 +458,14 @@ class StokesVelocityProblem:
             coarse_size=cfg.mg_coarse_size,
         )
 
-    def solve(self, u0: np.ndarray | None = None, callback=None) -> VelocitySolution:
+    def solve(
+        self,
+        u0: np.ndarray | None = None,
+        callback=None,
+        resilience=None,
+        checkpoint_every: int | None = None,
+        resume_from=None,
+    ) -> VelocitySolution:
         """Run the damped Newton solve and report diagnostics.
 
         With ``config.fused_assembly`` (the default) each Newton step
@@ -366,10 +476,28 @@ class StokesVelocityProblem:
         ``repro.observability.tracing()`` additionally records the full
         nested timeline; a metrics snapshot is always embedded in
         ``diagnostics["observability"]``.
+
+        Resilience: pass a :class:`repro.resilience.RecoveryPolicy` to
+        recover from detected faults (non-finite sweeps, stagnating
+        GMRES, failed preconditioner setup, corrupted halos, dead SPMD
+        ranks) instead of raising; when the process fault plane is armed
+        (``repro.resilience.fault_injection``) and no policy is given,
+        the plane's policy is used automatically so chaos runs recover
+        by default.  The event record lands in
+        ``diagnostics["resilience"]``.  ``checkpoint_every`` /
+        ``resume_from`` pass through to :func:`newton_solve` for
+        checkpoint/restart of the Newton state.
         """
         cfg = self.config
         if u0 is None:
             u0 = np.zeros(self.dofmap.num_dofs)
+
+        plane = fault_plane()
+        if resilience is None and plane.active:
+            resilience = plane.policy
+        self._resilience = resilience
+        self._precond_ladder = None
+        self._dead_ranks = set()
 
         # per-solve lifecycle for BOTH phase times and sweep counts: two
         # successive solves each report their own numbers, never
@@ -397,6 +525,9 @@ class StokesVelocityProblem:
                 callback=callback,
                 residual_jacobian_fn=self.residual_and_jacobian if cfg.fused_assembly else None,
                 reducer=self.reducer,
+                resilience=resilience,
+                checkpoint_every=checkpoint_every,
+                resume_from=resume_from,
             )
         solve_seconds = solve_span.dur_s
         u = newton.x
@@ -411,6 +542,7 @@ class StokesVelocityProblem:
         diagnostics = {
             "newton_residuals": newton.residual_norms,
             "linear_iterations": newton.linear_iterations,
+            "linear_flags": newton.linear_flags,
             "num_dofs": self.dofmap.num_dofs,
             "num_cells": self.mesh.num_elems,
             "fused_assembly": cfg.fused_assembly,
@@ -426,6 +558,18 @@ class StokesVelocityProblem:
         }
         if self.spmd is not None:
             diagnostics["spmd"] = self._spmd_diagnostics()
+        if resilience is not None:
+            # one merged event record: the policy's log plus (when the
+            # plane was armed with a different log) the injection log
+            merged = ResilienceLog()
+            merged.events.extend(resilience.log.events)
+            if plane.active and plane.log is not resilience.log:
+                merged.events.extend(plane.log.events)
+            rsum = merged.summary()
+            if plane.active:
+                rsum["schedule"] = plane.schedule.describe()
+            rsum["dead_ranks"] = sorted(self._dead_ranks)
+            diagnostics["resilience"] = rsum
         return VelocitySolution(
             u=u,
             newton=newton,

@@ -58,6 +58,8 @@ from repro.fem.assembly import AssemblyPlan
 from repro.fem.sparse import CsrMatrix
 from repro.mesh.partition import HaloExchange, Partition, TrafficMeter
 from repro.observability import get_tracer
+from repro.resilience.detectors import payload_checksum, verify_payload
+from repro.resilience.injectors import HaloCorruptionError, fault_plane
 
 __all__ = ["DistributedStokesAssembly", "DistributedMatrix"]
 
@@ -171,6 +173,10 @@ class DistributedStokesAssembly:
         self._bc_clear: list[np.ndarray | None] = []
         self._bc_diag: list[np.ndarray | None] = []
         self._spmv_ghost: list[dict[int, int]] = []  # ghost columns by owner
+        #: local column positions of each neighbor's ghost columns -- the
+        #: receive buffer layout of the SpMV ghost refresh, used by the
+        #: checksum-verified path when the fault plane is armed
+        self._spmv_ghost_idx: list[dict[int, np.ndarray]] = []
         for p in range(nparts):
             gslots = np.flatnonzero(slot_owner == p)
             slot_local[gslots] = np.arange(len(gslots))
@@ -189,6 +195,9 @@ class DistributedStokesAssembly:
             ghost_cols = colmap[dof_owner[colmap] != p]
             owners, counts = np.unique(dof_owner[ghost_cols], return_counts=True)
             self._spmv_ghost.append({int(q): int(c) for q, c in zip(owners, counts)})
+            self._spmv_ghost_idx.append(
+                {int(q): np.flatnonzero(dof_owner[colmap] == q) for q in owners}
+            )
 
         # ---- Jacobian exchange: entries (elem, i, j) routed to row
         # owners in ascending order ``jent = (elem * k + i) * k + j``
@@ -385,9 +394,57 @@ class DistributedMatrix:
                             a.meter.record("vector_gather", q, p, nbytes)
                     else:
                         a.meter.record("vector_gather", q, p, nbytes)
-                y[a._owned_dofs[p]] = self.local_matrix(p).matvec(x[a._colmap[p]])
+                xl = x[a._colmap[p]]
+                plane = fault_plane()
+                if plane.active:
+                    self._refresh_ghosts_checked(p, x, xl, plane)
+                y[a._owned_dofs[p]] = self.local_matrix(p).matvec(xl)
             a.meter.count_event("spmv")
         return y
+
+    def _refresh_ghosts_checked(self, part: int, x, xl, plane) -> None:
+        """Armed-plane SpMV ghost refresh with checksum verification.
+
+        Each neighbor's ghost-column payload routes through the fault
+        plane and is verified against the owner's CRC32; a mismatch
+        re-fetches (and re-meters) the message up to the policy's retry
+        budget, then raises :class:`HaloCorruptionError`.  On success the
+        verified values land in ``xl`` -- corrupted ghosts never reach
+        the rank-local SpMV.
+        """
+        a = self.assembly
+        policy, log = plane.policy, plane.log
+        for q, idx in a._spmv_ghost_idx[part].items():
+            clean = np.ascontiguousarray(xl[idx])
+            expected = payload_checksum(clean)
+            payload = plane.perturb(
+                "halo.payload", clean, rank=part, src=int(q), channel="spmv"
+            )
+            attempt = 0
+            while not verify_payload(payload, expected):
+                attempt += 1
+                log.record(
+                    "detection", "halo_checksum_mismatch", "halo.payload",
+                    rank=part, src=int(q), channel="spmv", attempt=attempt,
+                )
+                if attempt > policy.max_retries:
+                    raise HaloCorruptionError(
+                        f"SpMV ghost payload from rank {q} to rank {part} "
+                        f"failed checksum verification {attempt} times"
+                    )
+                a.meter.record("vector_gather", int(q), part, len(idx) * _FP64)
+                a.meter.count_event("gather_retry")
+                payload = plane.perturb(
+                    "halo.payload",
+                    np.ascontiguousarray(x[a._colmap[part][idx]]),
+                    rank=part, src=int(q), channel="spmv", retry=attempt,
+                )
+            if attempt > 0:
+                log.record(
+                    "recovery", "halo_refetch", "halo.payload",
+                    rank=part, src=int(q), channel="spmv", attempts=attempt,
+                )
+            xl[idx] = payload
 
     def __matmul__(self, x):
         return self.matvec(x)

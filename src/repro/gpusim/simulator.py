@@ -20,6 +20,7 @@ from repro.gpusim.timing import KernelTiming, estimate_time
 from repro.gpusim.trace import ThreadProgram, record_kernel_trace
 from repro.kokkos.policy import LaunchBounds
 from repro.observability import get_metrics, get_tracer
+from repro.resilience.injectors import KernelLaunchError, fault_plane
 
 __all__ = ["ProblemSize", "ANTARCTICA_16KM", "KernelProfile", "GPUSimulator"]
 
@@ -110,6 +111,10 @@ class GPUSimulator:
         if launch_bounds is None:
             launch_bounds = default_launch_bounds(variant.mode)
 
+        plane = fault_plane()
+        if plane.active:
+            self._launch_checked(plane, variant.key)
+
         with get_tracer().span(
             "gpusim.run", cat="gpusim", variant=variant.key, gpu=self.spec.name
         ):
@@ -145,6 +150,35 @@ class GPUSimulator:
             occupancy=occ,
             peak_bandwidth=self.spec.hbm_bytes_per_s,
         )
+
+    def _launch_checked(self, plane, name: str) -> None:
+        """Armed-plane launch: retry injected launch failures.
+
+        A flaky-GPU launch failure (:class:`KernelLaunchError` from the
+        ``gpusim.launch`` site) is retried within the policy's budget --
+        the simulated analogue of re-launching after a transient driver
+        error -- then re-raised.
+        """
+        policy, log = plane.policy, plane.log
+        attempt = 0
+        while True:
+            try:
+                plane.poke("gpusim.launch", name=name, gpu=self.spec.name)
+                break
+            except KernelLaunchError as exc:
+                attempt += 1
+                log.record(
+                    "detection", "launch_failure", "gpusim.launch",
+                    name=name, attempt=attempt, error=str(exc),
+                )
+                if attempt > policy.max_retries:
+                    raise
+        if attempt > 0:
+            log.record(
+                "recovery", "launch_retry", "gpusim.launch",
+                name=name, attempts=attempt,
+            )
+            get_metrics().counter("resilience.launch_retries").inc(attempt)
 
     def run_all_variants(self, problem: ProblemSize = ANTARCTICA_16KM) -> dict[str, KernelProfile]:
         """Profile all four kernel variants with their default bounds."""

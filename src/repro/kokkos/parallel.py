@@ -22,6 +22,7 @@ from repro.kokkos.policy import RangePolicy
 from repro.kokkos.space import ExecutionSpace, HostVector
 from repro.kokkos.view import View, deep_copy_view
 from repro.observability import hooks
+from repro.resilience.injectors import KernelLaunchError, fault_plane
 
 __all__ = [
     "parallel_for",
@@ -38,6 +39,35 @@ __all__ = [
 
 _DEFAULT_SPACE = HostVector()
 _REGISTRY = hooks.registry()
+_FAULT_PLANE = fault_plane()
+
+
+def _poke_launch(name: str, extent: int) -> None:
+    """Armed-plane launch check: retry injected ``kernel.launch`` failures.
+
+    Mirrors a Kokkos backend re-submitting after a transient launch error;
+    a failure persisting past the policy's retry budget propagates.
+    """
+    plane = _FAULT_PLANE
+    policy, log = plane.policy, plane.log
+    attempt = 0
+    while True:
+        try:
+            plane.poke("kernel.launch", name=name, extent=extent)
+            break
+        except KernelLaunchError as exc:
+            attempt += 1
+            log.record(
+                "detection", "launch_failure", "kernel.launch",
+                name=name, attempt=attempt, error=str(exc),
+            )
+            if attempt > policy.max_retries:
+                raise
+    if attempt > 0:
+        log.record(
+            "recovery", "launch_retry", "kernel.launch",
+            name=name, attempts=attempt,
+        )
 
 
 @dataclass
@@ -109,6 +139,8 @@ def parallel_for(name: str, policy, functor, space: ExecutionSpace | None = None
     """Execute ``functor`` over ``policy`` on ``space`` (default vectorized host)."""
     policy = _coerce_policy(policy)
     space = space or _DEFAULT_SPACE
+    if _FAULT_PLANE.active:
+        _poke_launch(name, policy.extent)
     reg = _REGISTRY
     if reg.active:
         kid = reg.begin_parallel_for(name, policy.extent, space.name)
@@ -134,6 +166,8 @@ def parallel_reduce(
     """
     policy = _coerce_policy(policy)
     space = space or _DEFAULT_SPACE
+    if _FAULT_PLANE.active:
+        _poke_launch(name, policy.extent)
     reg = _REGISTRY
     if reg.active:
         kid = reg.begin_parallel_reduce(name, policy.extent, space.name)

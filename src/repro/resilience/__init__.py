@@ -1,0 +1,103 @@
+"""Fault injection, detection and recovery for the velocity-solve stack.
+
+MALI production runs survive nonlinear-solve failures -- non-finite
+viscosities from thin ice, stagnating GMRES, diverging Newton steps,
+dying nodes -- via step rejection, retries and restart files.  This
+package gives the reproduction the same three capabilities:
+
+* :mod:`~repro.resilience.injectors` -- a deterministic, seeded
+  fault-injection harness (:class:`FaultSchedule` armed on the
+  process-wide :class:`FaultPlane`): halo-payload bit flips / drops /
+  duplicates, NaN-poisoned kernel sweeps, rank and kernel-launch
+  failures, all firing at exact scheduled occurrences;
+* :mod:`~repro.resilience.detectors` -- payload checksums, per-step
+  non-finite guards, GMRES outcome classification;
+* :mod:`~repro.resilience.policies` -- the recovery ladder
+  (:class:`RecoveryPolicy`): retry with backoff, sweep re-evaluation,
+  Newton step rejection with damping backoff, GMRES restart escalation,
+  preconditioner fallback, SPMD work redistribution -- all reporting
+  into a :class:`ResilienceLog` and ``resilience.*`` metrics;
+* :mod:`~repro.resilience.checkpoint` -- Newton checkpoint/restart
+  (:class:`NewtonCheckpoint`, ``newton_solve(resume_from=...)``).
+
+Quick start::
+
+    from repro import resilience as res
+
+    policy = res.RecoveryPolicy()
+    with res.fault_injection(res.reference_schedule(seed=7), policy=policy):
+        solution = problem.solve(resilience=policy)
+    print(solution.diagnostics["resilience"])
+
+or from the command line: ``python -m repro chaos``.
+"""
+
+from __future__ import annotations
+
+from repro.resilience.checkpoint import NewtonCheckpoint
+from repro.resilience.detectors import (
+    GMRES_FLAGS,
+    check_finite,
+    classify_gmres,
+    nonfinite_count,
+    payload_checksum,
+    verify_payload,
+)
+from repro.resilience.injectors import (
+    SCHEDULES,
+    BitFlip,
+    DropMessage,
+    DuplicateMessage,
+    FaultError,
+    FaultPlane,
+    FaultSchedule,
+    HaloCorruptionError,
+    Injector,
+    KernelLaunchError,
+    LaunchFail,
+    NaNPoison,
+    RankFailure,
+    RankKill,
+    fault_injection,
+    fault_plane,
+    reference_schedule,
+)
+from repro.resilience.policies import (
+    PreconditionerLadder,
+    RecoveryPolicy,
+    ResilienceLog,
+    choose_survivor,
+    retry_with_backoff,
+)
+
+__all__ = [
+    "NewtonCheckpoint",
+    "GMRES_FLAGS",
+    "check_finite",
+    "classify_gmres",
+    "nonfinite_count",
+    "payload_checksum",
+    "verify_payload",
+    "SCHEDULES",
+    "BitFlip",
+    "DropMessage",
+    "DuplicateMessage",
+    "FaultError",
+    "FaultPlane",
+    "FaultSchedule",
+    "HaloCorruptionError",
+    "Injector",
+    "KernelLaunchError",
+    "LaunchFail",
+    "NaNPoison",
+    "RankFailure",
+    "RankKill",
+    "fault_injection",
+    "fault_plane",
+    "reference_schedule",
+    "PreconditionerLadder",
+    "RecoveryPolicy",
+    "ResilienceLog",
+    "choose_survivor",
+    "retry_with_backoff",
+]

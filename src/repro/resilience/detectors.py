@@ -1,0 +1,99 @@
+"""Detection guards: the boundaries where faults become observable.
+
+Injection (or a real production fault) only matters once something
+*notices*.  The solve stack detects at three boundaries, mirroring
+where MALI/E3SM runs catch their failures:
+
+* **payload checksums** on every halo message (:func:`payload_checksum`
+  / :func:`verify_payload`) -- the receiver recomputes the sender's
+  CRC32 over the raw bytes, so bit flips, drops and duplicates are all
+  caught before corrupted ghosts reach the SpMV;
+* **non-finite guards** at the assembly/Newton boundary
+  (:func:`check_finite`) -- a NaN residual from a poisoned sweep (or a
+  genuine viscosity blowup on thin ice) is reported with the step and
+  phase it appeared in instead of propagating silently into norms;
+* **linear-solve classification** (:func:`classify_gmres`) -- GMRES
+  outcomes become an explicit flag (``converged`` / ``maxiter`` /
+  ``stagnated`` / ``breakdown``) so callers stop inferring health from
+  residual-history lengths.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+__all__ = [
+    "payload_checksum",
+    "verify_payload",
+    "check_finite",
+    "nonfinite_count",
+    "classify_gmres",
+    "GMRES_FLAGS",
+]
+
+
+def payload_checksum(payload: np.ndarray) -> int:
+    """CRC32 over the raw bytes of a halo payload (sender side)."""
+    return zlib.crc32(np.ascontiguousarray(payload).tobytes())
+
+
+def verify_payload(payload: np.ndarray, checksum: int) -> bool:
+    """Receiver-side checksum verification of a (possibly corrupted) payload."""
+    return payload_checksum(payload) == int(checksum)
+
+
+def nonfinite_count(arr: np.ndarray) -> int:
+    """Number of NaN/Inf entries in an array (0 = healthy)."""
+    return int(arr.size - np.count_nonzero(np.isfinite(arr)))
+
+
+def check_finite(arr: np.ndarray, *, step: int | None = None, phase: str = "") -> None:
+    """Raise ``FloatingPointError`` naming the step and phase if ``arr``
+    holds any NaN/Inf.
+
+    This is the no-recovery-policy behavior: a mid-iteration NaN (e.g.
+    from a line-search trial) must fail loudly with its location, never
+    propagate silently into norms and GMRES.
+    """
+    if np.all(np.isfinite(arr)):
+        return
+    where = f"Newton step {step}" if step is not None else "solve"
+    raise FloatingPointError(
+        f"non-finite residual at {where} (phase {phase or 'unknown'!r}): "
+        f"{nonfinite_count(np.asarray(arr))} bad entries; attach a "
+        "repro.resilience.RecoveryPolicy to recover instead of aborting"
+    )
+
+
+GMRES_FLAGS = ("converged", "maxiter", "stagnated", "breakdown")
+
+#: a restart cycle that shrinks the residual by less than this factor is
+#: treated as stagnant (the Krylov space is no longer making progress)
+STAGNATION_RTOL = 0.99
+
+
+def classify_gmres(
+    converged: bool,
+    breakdown: bool,
+    cycle_reductions: list[float],
+    stagnation_rtol: float = STAGNATION_RTOL,
+) -> str:
+    """Classify a finished GMRES run into one of :data:`GMRES_FLAGS`.
+
+    ``cycle_reductions`` holds, per restart cycle, the ratio of the true
+    residual at cycle end to the residual at cycle start.  A run that
+    exhausted its iteration budget while the last cycle barely moved is
+    ``stagnated`` (restart escalation may still rescue it); one that was
+    still reducing is plain ``maxiter``; an Arnoldi breakdown that did
+    not reach tolerance is ``breakdown`` (the subspace is exhausted --
+    retrying at the same size cannot help).
+    """
+    if converged:
+        return "converged"
+    if breakdown:
+        return "breakdown"
+    if cycle_reductions and cycle_reductions[-1] >= stagnation_rtol:
+        return "stagnated"
+    return "maxiter"

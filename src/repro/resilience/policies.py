@@ -1,0 +1,223 @@
+"""Recovery policy ladder + the event log every rung reports into.
+
+The ladder, from cheapest to most disruptive -- each rung mirrors what
+an E3SM-class workflow does instead of aborting:
+
+1. **retry with backoff** -- corrupted halo exchange payloads are
+   re-fetched (the transport analogue of an MPI re-post); transient
+   kernel-launch failures are re-launched;
+2. **re-evaluation** -- a non-finite residual/Jacobian sweep is rerun
+   (transient corruption clears; a persistent NaN means real physics
+   trouble and escalates);
+3. **Newton step rejection** -- a step whose line search cannot find a
+   finite decreasing trial is rejected: the solver resumes from the
+   last good iterate with the damping cap halved (the "cut the
+   timestep" of a nonlinear solve);
+4. **GMRES restart escalation** -- a stagnating linear solve retries
+   with a grown Krylov space and iteration budget;
+5. **preconditioner fallback** -- if the MDSC hierarchy setup fails,
+   drop to the next factory on the ladder (Jacobi last), never to an
+   unpreconditioned abort;
+6. **SPMD degradation** -- a failed rank's owned cells are reassigned
+   to a survivor (serial fallback when none remain); the
+   decomposition-independent ``BlockReducer`` keeps the trajectory
+   identical to the healthy run.
+
+Every detection and recovery lands in a :class:`ResilienceLog`, which
+mirrors each event into ``resilience.*`` metrics so chaos-run
+statistics ride the normal observability snapshot.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.observability import get_metrics, get_tracer
+
+__all__ = [
+    "ResilienceLog",
+    "RecoveryPolicy",
+    "retry_with_backoff",
+    "PreconditionerLadder",
+    "choose_survivor",
+]
+
+
+class ResilienceLog:
+    """Chronological record of injections, detections and recoveries.
+
+    ``record`` appends one event dict and mirrors it into the metrics
+    registry (``resilience.<category>`` and ``resilience.<category>.
+    <kind>`` counters), so ``diagnostics["observability"]`` and
+    ``diagnostics["resilience"]`` stay consistent with each other.
+    """
+
+    CATEGORIES = ("injection", "detection", "recovery")
+
+    def __init__(self):
+        self.events: list[dict] = []
+
+    def record(self, category: str, kind: str, site: str, **detail) -> dict:
+        if category not in self.CATEGORIES:
+            raise ValueError(f"unknown event category {category!r}")
+        event = {"category": category, "kind": kind, "site": site, **detail}
+        self.events.append(event)
+        metrics = get_metrics()
+        metrics.counter(f"resilience.{category}").inc()
+        metrics.counter(f"resilience.{category}.{kind}").inc()
+        return event
+
+    def count(self, category: str, kind: str | None = None) -> int:
+        return sum(
+            1
+            for e in self.events
+            if e["category"] == category and (kind is None or e["kind"] == kind)
+        )
+
+    def summary(self) -> dict:
+        """JSON-able chaos-run statistics: totals, per-kind counts, events."""
+        by_kind: dict[str, dict[str, int]] = {c: {} for c in self.CATEGORIES}
+        for e in self.events:
+            d = by_kind[e["category"]]
+            d[e["kind"]] = d.get(e["kind"], 0) + 1
+        return {
+            "injections": self.count("injection"),
+            "detections": self.count("detection"),
+            "recoveries": self.count("recovery"),
+            "by_kind": by_kind,
+            "events": list(self.events),
+        }
+
+
+@dataclass
+class RecoveryPolicy:
+    """Budgets and knobs of the recovery ladder (see module docstring).
+
+    Attach one to ``newton_solve(resilience=...)`` /
+    ``StokesVelocityProblem.solve(resilience=...)`` to recover from
+    detected faults instead of raising.  All budgets are per event, not
+    per solve, except ``max_step_rejections`` (per Newton step).
+    """
+
+    #: re-fetch/re-launch attempts for a corrupted exchange or failed launch
+    max_retries: int = 3
+    #: base sleep between retries; doubled per attempt (0 keeps tests fast
+    #: while still exercising and logging the backoff arithmetic)
+    backoff_s: float = 0.0
+    #: full re-evaluations of a non-finite residual/Jacobian sweep
+    max_reevaluations: int = 2
+    #: rejected attempts per Newton step before giving up
+    max_step_rejections: int = 3
+    #: damping-cap multiplier applied on each step rejection
+    step_damping_backoff: float = 0.5
+    #: restart/maxiter growth factor per GMRES escalation
+    gmres_restart_growth: int = 2
+    #: stagnating linear-solve retries with a grown Krylov space
+    max_gmres_escalations: int = 2
+    #: snapshot Newton state every N accepted steps (0 disables)
+    checkpoint_every: int = 1
+    log: ResilienceLog = field(default_factory=ResilienceLog)
+
+    def backoff(self, attempt: int) -> float:
+        """Exponential backoff delay before retry ``attempt`` (1-based)."""
+        return self.backoff_s * (2.0 ** max(0, attempt - 1))
+
+
+def retry_with_backoff(
+    fn,
+    policy: RecoveryPolicy,
+    site: str,
+    kind: str,
+    exceptions: tuple[type[BaseException], ...] = (Exception,),
+    **detail,
+):
+    """Run ``fn`` with the policy's retry/backoff budget.
+
+    Each failure is logged as a detection; each successful retry as a
+    recovery (with the attempt number and the backoff waited).  The last
+    exception propagates once the budget is spent.
+    """
+    tr = get_tracer()
+    attempt = 0
+    while True:
+        try:
+            result = fn()
+        except exceptions as exc:
+            attempt += 1
+            policy.log.record(
+                "detection", kind, site, attempt=attempt, error=str(exc), **detail
+            )
+            if attempt > policy.max_retries:
+                raise
+            delay = policy.backoff(attempt)
+            if delay > 0.0:
+                time.sleep(delay)
+            continue
+        if attempt > 0:
+            with tr.span("resilience.recover", site=site, kind=kind, attempts=attempt):
+                policy.log.record(
+                    "recovery", f"{kind}_retry", site,
+                    attempts=attempt, backoff_s=policy.backoff(attempt), **detail,
+                )
+        return result
+
+
+class PreconditionerLadder:
+    """Factory chain: try each ``J -> M`` builder, fall through on failure.
+
+    The production rung order is MDSC -> Jacobi -> None: when the MDSC
+    hierarchy setup fails (singular collapsed block, injected fault),
+    the solve continues with point-Jacobi -- degraded convergence beats
+    a dead run.  Every fallback is logged as detection + recovery.
+    """
+
+    def __init__(self, factories: list[tuple[str, object]], log: ResilienceLog | None = None):
+        if not factories:
+            raise ValueError("at least one preconditioner factory required")
+        self.factories = list(factories)
+        self.log = log
+        #: name of the factory the last build actually used
+        self.last_used: str | None = None
+
+    def __call__(self, J):
+        tr = get_tracer()
+        last_exc: Exception | None = None
+        for i, (name, factory) in enumerate(self.factories):
+            try:
+                if factory is None:
+                    self.last_used = name
+                    return None
+                M = factory(J)
+                self.last_used = name
+                if i > 0 and self.log is not None:
+                    self.log.record(
+                        "recovery", "preconditioner_fallback", "precond.setup",
+                        fell_back_to=name, error=str(last_exc),
+                    )
+                return M
+            except Exception as exc:  # noqa: BLE001 - every rung may fail
+                last_exc = exc
+                if self.log is not None:
+                    self.log.record(
+                        "detection", "preconditioner_failure", "precond.setup",
+                        factory=name, error=str(exc),
+                    )
+                with tr.span("resilience.precond_fallback", failed=name):
+                    continue
+        raise RuntimeError(
+            f"every preconditioner factory failed (last: {last_exc})"
+        ) from last_exc
+
+
+def choose_survivor(dead: set[int], nparts: int) -> int | None:
+    """Lowest-numbered live rank to absorb a failed rank's work.
+
+    Returns ``None`` when no rank survives -- the caller falls back to a
+    serial sweep (the degradation endpoint: one survivor doing all the
+    work is operationally identical to a serial solve).
+    """
+    for p in range(nparts):
+        if p not in dead:
+            return p
+    return None

@@ -12,8 +12,16 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.observability import get_metrics, get_tracer
+from repro.resilience.detectors import classify_gmres
 
 __all__ = ["GmresResult", "gmres"]
+
+_FLAG_REASONS = {
+    "converged": "relative residual reached tolerance",
+    "maxiter": "iteration budget exhausted while still reducing the residual",
+    "stagnated": "iteration budget exhausted with a stagnant last restart cycle",
+    "breakdown": "Arnoldi breakdown: Krylov subspace exhausted short of tolerance",
+}
 
 
 @dataclass
@@ -22,10 +30,19 @@ class GmresResult:
     converged: bool
     iterations: int
     residual_norms: list[float]
+    #: outcome classification: ``converged`` | ``maxiter`` | ``stagnated``
+    #: | ``breakdown`` -- callers branch on this, never on the length of
+    #: ``residual_norms`` (see repro.resilience.detectors.classify_gmres)
+    flag: str = "converged"
 
     @property
     def final_residual(self) -> float:
         return self.residual_norms[-1]
+
+    @property
+    def reason(self) -> str:
+        """Human-readable description of :attr:`flag`."""
+        return _FLAG_REASONS.get(self.flag, self.flag)
 
 
 def _as_operator(A):
@@ -78,7 +95,7 @@ def gmres(
 
     bnorm = norm(b)
     if bnorm == 0.0:
-        return GmresResult(np.zeros(n), True, 0, [0.0])
+        return GmresResult(np.zeros(n), True, 0, [0.0], flag="converged")
     target = tol * bnorm
 
     r = b - matvec(x)
@@ -86,12 +103,15 @@ def gmres(
     norms = [float(rnorm)]
     total_it = 0
     breakdown = False
+    #: per-cycle true-residual reduction factors (stagnation classifier)
+    cycle_reductions: list[float] = []
     tr = get_tracer()
     it_counter = get_metrics().counter("gmres.iterations")
 
     cycle = 0
     while rnorm > target and total_it < maxiter and not breakdown:
         m = min(restart, maxiter - total_it)
+        rnorm_cycle_start = rnorm
         with tr.span("gmres.cycle", cycle=cycle, krylov_dim=m):
             V = np.zeros((m + 1, n))
             Z = np.zeros((m, n))  # preconditioned directions (flexible storage)
@@ -164,6 +184,10 @@ def gmres(
             r = b - matvec(x)
             rnorm = norm(r)
             norms[-1] = float(rnorm)  # replace estimate with true residual
+            if rnorm_cycle_start > 0.0:
+                cycle_reductions.append(float(rnorm / rnorm_cycle_start))
         cycle += 1
 
-    return GmresResult(x, bool(rnorm <= target), total_it, norms)
+    converged = bool(rnorm <= target)
+    flag = classify_gmres(converged, breakdown, cycle_reductions)
+    return GmresResult(x, converged, total_it, norms, flag=flag)

@@ -1,4 +1,4 @@
-"""Damped Newton's method with backtracking line search.
+"""Damped Newton's method with backtracking line search and recovery.
 
 MALI's velocity solve runs a fixed number of damped Newton steps (eight
 in the paper's Antarctica test); each step assembles residual and
@@ -10,6 +10,19 @@ already produces the residual as the value component of the Jacobian
 sweep, so ``newton_solve`` accepts an optional fused
 ``residual_jacobian_fn`` that returns ``(F(x), J(x))`` from one sweep.
 Line-search trials still use the cheap residual-only path.
+
+Resilience.  Production ice-sheet runs hit non-finite residuals (thin-
+ice viscosity blowups), stagnating GMRES and corrupted evaluations, and
+survive them by step rejection and restart rather than aborting.  This
+solver guards every phase -- evaluation, linear solve, line search --
+with finiteness checks that (absent a policy) raise a
+``FloatingPointError`` naming the step and phase.  With a
+:class:`repro.resilience.RecoveryPolicy` attached it instead climbs the
+recovery ladder: re-evaluate a poisoned sweep, drop the preconditioner
+and escalate the GMRES restart for a sick linear solve, reject the step
+and resume from the last good iterate with a halved damping cap, and
+snapshot the iterate every ``checkpoint_every`` accepted steps so a
+killed solve can resume via ``resume_from=``.
 """
 
 from __future__ import annotations
@@ -19,6 +32,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.observability import get_metrics, get_tracer
+from repro.resilience.checkpoint import NewtonCheckpoint
+from repro.resilience.detectors import nonfinite_count
 from repro.solvers.gmres import gmres
 
 __all__ = ["NewtonResult", "newton_solve"]
@@ -32,6 +47,9 @@ class NewtonResult:
     residual_norms: list[float] = field(default_factory=list)
     step_lengths: list[float] = field(default_factory=list)
     linear_iterations: list[int] = field(default_factory=list)
+    #: per-step GMRES outcome flag (``converged`` / ``maxiter`` /
+    #: ``stagnated`` / ``breakdown``), aligned with ``linear_iterations``
+    linear_flags: list[str] = field(default_factory=list)
     #: residual-only evaluations: line-search trials, plus the initial
     #: check when no fused ``residual_jacobian_fn`` is supplied
     num_residual_evals: int = 0
@@ -43,10 +61,40 @@ class NewtonResult:
     #: from observability spans (newton.evaluate / newton.precond_setup /
     #: gmres.solve), so the numbers agree with a recorded trace exactly.
     phase_seconds: dict = field(default_factory=dict)
+    #: most recent state snapshot (``checkpoint_every`` accepted steps);
+    #: feed it back via ``newton_solve(resume_from=...)`` to restart
+    checkpoint: NewtonCheckpoint | None = None
 
     @property
     def final_residual(self) -> float:
         return self.residual_norms[-1]
+
+
+def _jacobian_finite(J) -> bool:
+    """Cheap finiteness check on a Jacobian's stored values.
+
+    Covers :class:`CsrMatrix` (``data``) and :class:`DistributedMatrix`
+    (``data_parts``); opaque operators (plain callables) are assumed
+    healthy -- their damage surfaces as a non-finite GMRES direction.
+    """
+    data = getattr(J, "data", None)
+    if data is not None:
+        return bool(np.all(np.isfinite(data)))
+    parts = getattr(J, "data_parts", None)
+    if parts is not None:
+        return all(bool(np.all(np.isfinite(d))) for d in parts)
+    return True
+
+
+def _raise_nonfinite(step: int, phase: str, arr=None) -> None:
+    detail = ""
+    if arr is not None:
+        detail = f": {nonfinite_count(np.asarray(arr))} non-finite entries"
+    raise FloatingPointError(
+        f"non-finite values at Newton step {step} (phase {phase!r}){detail}; "
+        "attach resilience=repro.resilience.RecoveryPolicy() to recover "
+        "instead of aborting"
+    )
 
 
 def newton_solve(
@@ -63,6 +111,10 @@ def newton_solve(
     callback=None,
     residual_jacobian_fn=None,
     reducer=None,
+    resilience=None,
+    checkpoint_every: int | None = None,
+    checkpoint_cb=None,
+    resume_from: NewtonCheckpoint | None = None,
 ) -> NewtonResult:
     """Solve ``F(x) = 0`` by damped Newton.
 
@@ -91,6 +143,20 @@ def newton_solve(
         residual norm, line-search test and GMRES inner product.  A
         distributed solve passes a partitioned, decomposition-independent
         reducer so serial and SPMD trajectories stay bit-for-bit equal.
+    resilience:
+        Optional :class:`repro.resilience.RecoveryPolicy`.  Without it,
+        any non-finite value detected mid-solve raises a
+        ``FloatingPointError`` naming the step and phase; with it the
+        solver recovers (re-evaluation, step rejection with damping
+        backoff, GMRES restart escalation) and logs every event.
+    checkpoint_every:
+        Snapshot the accepted iterate every N steps into
+        ``NewtonResult.checkpoint`` (and ``checkpoint_cb`` when given).
+        Defaults to the policy's ``checkpoint_every`` (0 = off without a
+        policy).
+    resume_from:
+        A :class:`NewtonCheckpoint` to restart from: the loop re-enters
+        at the checkpointed step with the saved iterate and histories.
     """
     if residual_jacobian_fn is None and jacobian_fn is None:
         raise ValueError("either jacobian_fn or residual_jacobian_fn is required")
@@ -100,90 +166,263 @@ def newton_solve(
     phases = {"evaluate": 0.0, "preconditioner": 0.0, "gmres": 0.0}
     tr = get_tracer()
     metrics = get_metrics()
+    policy = resilience
+    log = policy.log if policy is not None else None
+    if checkpoint_every is None:
+        checkpoint_every = policy.checkpoint_every if policy is not None else 0
 
     x = np.array(x0, dtype=np.float64)
     res = NewtonResult(x, False, 0)
     res.phase_seconds = phases
+    start_step = 0
+    if resume_from is not None:
+        x = np.array(resume_from.x, dtype=np.float64)
+        start_step = int(resume_from.step)
+        res.x = x
+        res.iterations = start_step
+        res.residual_norms = list(resume_from.residual_norms)
+        res.step_lengths = list(resume_from.step_lengths)
+        res.linear_iterations = list(resume_from.linear_iterations)
+        res.linear_flags = list(resume_from.linear_flags)
+        res.checkpoint = resume_from
+
+    def evaluate_full(what: str):
+        """One evaluation at the current ``x``: (f, J_or_None)."""
+        with tr.span("newton.evaluate", what=what) as sp:
+            if residual_jacobian_fn is not None:
+                f_new, J_new = residual_jacobian_fn(x)
+                res.num_jacobian_evals += 1
+            else:
+                f_new = residual_fn(x)
+                res.num_residual_evals += 1
+                J_new = None
+        phases["evaluate"] += sp.dur_s
+        return f_new, J_new
 
     # initial evaluation: the fused path gets the step-0 Jacobian for
     # free (the residual is the value component of the same SFad sweep),
     # so a full solve performs exactly one DAG sweep per accepted step
-    # plus one residual-only sweep per line-search trial
-    with tr.span("newton.evaluate", what="initial") as sp:
-        if residual_jacobian_fn is not None:
-            f, J_next = residual_jacobian_fn(x)
-            res.num_jacobian_evals += 1
-        else:
-            f = residual_fn(x)
-            res.num_residual_evals += 1
-            J_next = None
-    phases["evaluate"] += sp.dur_s
-    if not np.all(np.isfinite(f)):
-        raise FloatingPointError(
-            "non-finite residual at the initial guess; check inputs "
-            "(thickness/viscosity fields) before starting Newton"
+    # plus one residual-only sweep per line-search trial.  A resumed
+    # solve re-evaluates at the checkpointed iterate (same sweep shape).
+    what0 = "initial" if resume_from is None else "resume"
+    f, J_next = evaluate_full(what0)
+    attempts = 0
+    while not (np.all(np.isfinite(f)) and _jacobian_finite(J_next)):
+        # a poisoned initial sweep is retryable under a policy; a truly
+        # bad initial guess (bad thickness/viscosity inputs) is not
+        attempts += 1
+        if policy is None or attempts > policy.max_reevaluations:
+            raise FloatingPointError(
+                "non-finite residual at the initial guess; check inputs "
+                "(thickness/viscosity fields) before starting Newton"
+            )
+        log.record(
+            "detection", "nonfinite_evaluation", "newton.evaluate",
+            step=start_step, phase=what0, attempt=attempts,
+        )
+        f, J_next = evaluate_full(f"{what0}_retry")
+        log.record(
+            "recovery", "reevaluation", "newton.evaluate",
+            step=start_step, phase=what0, attempts=attempts,
         )
     fnorm = float(norm_fn(f))
-    res.residual_norms.append(fnorm)
+    if resume_from is None:
+        res.residual_norms.append(fnorm)
     if fnorm <= tol:
         res.converged = True
         return res
 
-    for step in range(max_steps):
+    for step in range(start_step, max_steps):
         with tr.span("newton.step", step=step):
-            with tr.span("newton.evaluate", step=step) as sp:
-                if J_next is not None:
-                    J, J_next = J_next, None
-                elif residual_jacobian_fn is not None:
-                    # fused: one jacobian-mode sweep yields both outputs;
-                    # its value component replaces the carried
-                    # line-search residual
-                    f, J = residual_jacobian_fn(x)
-                    fnorm = float(norm_fn(f))
-                    res.num_jacobian_evals += 1
-                else:
-                    J = jacobian_fn(x)
-                    res.num_jacobian_evals += 1
-            phases["evaluate"] += sp.dur_s
+            alpha_cap = 1.0
+            rejections = 0
+            while True:  # step-attempt loop: rejected attempts retry here
+                with tr.span("newton.evaluate", step=step) as sp:
+                    if J_next is not None:
+                        J, J_next = J_next, None
+                    elif residual_jacobian_fn is not None:
+                        # fused: one jacobian-mode sweep yields both
+                        # outputs; its value component replaces the
+                        # carried line-search residual
+                        f, J = residual_jacobian_fn(x)
+                        fnorm = float(norm_fn(f))
+                        res.num_jacobian_evals += 1
+                    else:
+                        J = jacobian_fn(x)
+                        res.num_jacobian_evals += 1
+                phases["evaluate"] += sp.dur_s
 
-            with tr.span("newton.precond_setup", step=step) as sp:
-                M = preconditioner_fn(J) if preconditioner_fn is not None else None
-            phases["preconditioner"] += sp.dur_s
+                # per-step guard: a NaN produced by this (or a carried)
+                # sweep must not propagate silently into norms and GMRES
+                attempts = 0
+                while not (np.all(np.isfinite(f)) and _jacobian_finite(J)):
+                    if policy is None:
+                        _raise_nonfinite(step, "evaluate", f)
+                    attempts += 1
+                    if attempts > policy.max_reevaluations:
+                        _raise_nonfinite(step, "evaluate", f)
+                    log.record(
+                        "detection", "nonfinite_evaluation", "newton.evaluate",
+                        step=step, phase="evaluate", attempt=attempts,
+                    )
+                    with tr.span("resilience.recover", site="newton.evaluate", step=step):
+                        f2, J2 = evaluate_full("reevaluate")
+                        if J2 is not None:
+                            f, J = f2, J2
+                            fnorm = float(norm_fn(f))
+                        else:
+                            if not np.all(np.isfinite(f)):
+                                f = f2
+                                fnorm = float(norm_fn(f))
+                            with tr.span("newton.evaluate", what="reevaluate_jac") as sp:
+                                J = jacobian_fn(x)
+                                res.num_jacobian_evals += 1
+                            phases["evaluate"] += sp.dur_s
+                    if np.all(np.isfinite(f)) and _jacobian_finite(J):
+                        log.record(
+                            "recovery", "reevaluation", "newton.evaluate",
+                            step=step, attempts=attempts,
+                        )
 
-            with tr.span("gmres.solve", step=step) as sp:
-                lin = gmres(
-                    J,
-                    -f,
-                    tol=linear_tol,
-                    restart=gmres_restart,
-                    maxiter=gmres_maxiter,
-                    M=M,
-                    dot=gmres_dot,
-                    norm=gmres_norm,
-                )
-            phases["gmres"] += sp.dur_s
-            dx = lin.x
-            res.linear_iterations.append(lin.iterations)
-            metrics.histogram("gmres.iterations_per_solve").observe(lin.iterations)
+                with tr.span("newton.precond_setup", step=step) as sp:
+                    M = preconditioner_fn(J) if preconditioner_fn is not None else None
+                phases["preconditioner"] += sp.dur_s
 
-            # backtracking on ||F||
-            alpha = 1.0
-            with tr.span("newton.line_search", step=step):
+                # linear solve with restart escalation: a stagnating (or
+                # non-finite) GMRES retries with a grown Krylov space; a
+                # non-finite direction additionally drops the
+                # preconditioner (the usual culprit)
+                restart_eff, maxiter_eff = gmres_restart, gmres_maxiter
+                escalations = 0
                 while True:
-                    x_trial = x + alpha * dx
-                    with tr.span("newton.evaluate", what="line_search") as sp:
-                        f_trial = residual_fn(x_trial)
-                    phases["evaluate"] += sp.dur_s
-                    res.num_residual_evals += 1
-                    fnorm_trial = float(norm_fn(f_trial))
-                    if fnorm_trial < (1.0 - 1.0e-4 * alpha) * fnorm or alpha <= damping_min:
+                    with tr.span("gmres.solve", step=step) as sp:
+                        lin = gmres(
+                            J,
+                            -f,
+                            tol=linear_tol,
+                            restart=restart_eff,
+                            maxiter=maxiter_eff,
+                            M=M,
+                            dot=gmres_dot,
+                            norm=gmres_norm,
+                        )
+                    phases["gmres"] += sp.dur_s
+                    dx = lin.x
+                    if not np.all(np.isfinite(dx)):
+                        problem = "nonfinite_direction"
+                    elif lin.flag == "stagnated":
+                        problem = "gmres_stagnated"
+                    else:
+                        problem = None
+                    if problem is None:
                         break
-                    alpha *= 0.5
+                    if policy is None:
+                        if problem == "nonfinite_direction":
+                            _raise_nonfinite(step, "gmres", dx)
+                        break  # stagnation without a policy: proceed damped
+                    if escalations >= policy.max_gmres_escalations:
+                        if problem == "nonfinite_direction":
+                            _raise_nonfinite(step, "gmres", dx)
+                        break
+                    log.record(
+                        "detection", problem, "gmres.solve",
+                        step=step, flag=lin.flag, restart=restart_eff,
+                        final_residual=lin.final_residual,
+                    )
+                    escalations += 1
+                    restart_eff *= policy.gmres_restart_growth
+                    maxiter_eff *= policy.gmres_restart_growth
+                    if problem == "nonfinite_direction":
+                        M = None
+                    with tr.span(
+                        "resilience.recover", site="gmres.solve",
+                        step=step, restart=restart_eff,
+                    ):
+                        log.record(
+                            "recovery", "gmres_escalation", "gmres.solve",
+                            step=step, escalation=escalations,
+                            restart=restart_eff, maxiter=maxiter_eff,
+                            dropped_preconditioner=problem == "nonfinite_direction",
+                        )
+
+                # backtracking on ||F||, capped by the rejection backoff
+                alpha = alpha_cap
+                rejected = False
+                nonfinite_trials = 0
+                with tr.span("newton.line_search", step=step):
+                    while True:
+                        x_trial = x + alpha * dx
+                        with tr.span("newton.evaluate", what="line_search") as sp:
+                            f_trial = residual_fn(x_trial)
+                        phases["evaluate"] += sp.dur_s
+                        res.num_residual_evals += 1
+                        if np.all(np.isfinite(f_trial)):
+                            fnorm_trial = float(norm_fn(f_trial))
+                            if (
+                                fnorm_trial < (1.0 - 1.0e-4 * alpha) * fnorm
+                                or alpha <= damping_min
+                            ):
+                                if nonfinite_trials and policy is not None:
+                                    log.record(
+                                        "recovery", "line_search_reeval",
+                                        "newton.line_search", step=step,
+                                        alpha=alpha, bad_trials=nonfinite_trials,
+                                    )
+                                break
+                        else:
+                            # a non-finite trial is never acceptable --
+                            # without this guard a NaN reaching
+                            # ``damping_min`` would be silently accepted
+                            if policy is None:
+                                _raise_nonfinite(step, "line_search", f_trial)
+                            nonfinite_trials += 1
+                            log.record(
+                                "detection", "nonfinite_line_search",
+                                "newton.line_search", step=step, alpha=alpha,
+                            )
+                            if alpha <= damping_min:
+                                rejected = True
+                                break
+                        alpha *= 0.5
+
+                if not rejected:
+                    break  # step attempt succeeded
+                # reject the step: resume from the last good iterate with
+                # a halved damping cap (x was never overwritten)
+                rejections += 1
+                if rejections > policy.max_step_rejections:
+                    _raise_nonfinite(step, "step_rejection")
+                alpha_cap *= policy.step_damping_backoff
+                with tr.span(
+                    "resilience.recover", site="newton.step",
+                    step=step, rejection=rejections,
+                ):
+                    log.record(
+                        "recovery", "step_rejection", "newton.step",
+                        step=step, rejections=rejections, alpha_cap=alpha_cap,
+                    )
+                metrics.counter("resilience.step_rejections").inc()
+
             x, f, fnorm = x_trial, f_trial, fnorm_trial
             res.step_lengths.append(alpha)
             res.residual_norms.append(fnorm)
+            res.linear_iterations.append(lin.iterations)
+            res.linear_flags.append(lin.flag)
+            metrics.histogram("gmres.iterations_per_solve").observe(lin.iterations)
             res.iterations = step + 1
             metrics.counter("newton.steps").inc()
+            if checkpoint_every and (step + 1) % checkpoint_every == 0:
+                res.checkpoint = NewtonCheckpoint(
+                    step=step + 1,
+                    x=x.copy(),
+                    residual_norms=list(res.residual_norms),
+                    step_lengths=list(res.step_lengths),
+                    linear_iterations=list(res.linear_iterations),
+                    linear_flags=list(res.linear_flags),
+                )
+                metrics.counter("newton.checkpoints").inc()
+                if checkpoint_cb is not None:
+                    checkpoint_cb(res.checkpoint)
         if callback is not None:
             callback(step, x, fnorm, lin)
         if fnorm <= tol:
