@@ -12,6 +12,7 @@ Regenerates the paper's tables/figures without the pytest harness:
     python -m repro solve       # the Antarctica velocity solve (coarse)
     python -m repro profile     # traced coarse solve -> Chrome trace JSON
     python -m repro chaos       # coarse solve under a fault schedule
+    python -m repro verify      # race checks + differential oracle table
     python -m repro all
 
 ``profile`` runs the coarse Antarctica solve under the observability
@@ -27,6 +28,16 @@ detection / recovery event plus the recovered-vs-clean solution error.
 With ``--check`` it exits nonzero unless every scheduled fault fired
 and the recovered solution sits within ``10 x newton_tol`` of the
 fault-free one (the CI gate).
+
+``verify`` runs the correctness-tooling subsystem: the differential
+oracle registry (kernel variants vs reference, SFad vs finite
+differences and complex step, fused vs separate assembly, SPMD vs
+serial, byte-formula reconciliation), race/determinism checks of every
+kernel body, and a detection selftest on two planted defects.
+``--suite kernels|jacobian|spmd|bytes`` restricts the table;
+``--fixture racy|perturbed`` promotes a planted defect to "production"
+so CI can assert the nonzero exit path; ``--check`` makes the exit
+code strict.
 """
 
 from __future__ import annotations
@@ -301,7 +312,10 @@ def main(argv=None) -> int:
     ap = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
     ap.add_argument(
         "artifact",
-        choices=["table2", "table3", "table4", "fig3", "fig5", "solve", "profile", "chaos", "all"],
+        choices=[
+            "table2", "table3", "table4", "fig3", "fig5",
+            "solve", "profile", "chaos", "verify", "all",
+        ],
     )
     ap.add_argument("--out", default="trace.json", help="profile: Chrome trace output path")
     ap.add_argument("--jsonl", default=None, help="profile: also write a JSON-lines span log")
@@ -323,9 +337,21 @@ def main(argv=None) -> int:
     ap.add_argument("--seed", type=int, default=2024, help="chaos: fault-schedule RNG seed")
     ap.add_argument(
         "--check", action="store_true",
-        help="chaos: exit nonzero unless all faults fired and the solve recovered",
+        help="chaos/verify: exit nonzero on failure (the CI gate)",
+    )
+    ap.add_argument(
+        "--suite", default="all",
+        help="verify: oracle suite to run (all|kernels|jacobian|spmd|bytes)",
+    )
+    ap.add_argument(
+        "--fixture", default="none",
+        help="verify: treat a planted defect as production (none|racy|perturbed)",
     )
     args = ap.parse_args(argv)
+    if args.artifact == "verify":
+        from repro.verify.cli import verify as run_verify
+
+        return run_verify(suite=args.suite, check=args.check, fixture=args.fixture)
     if args.artifact == "profile":
         profile(
             out=args.out,

@@ -11,6 +11,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.autodiff.sfad import FadArray
+from repro.verify.sanitizer import sanitizer
+
+# disarmed fast path: each instrumented op pays one attribute read
+_SAN = sanitizer()
 
 __all__ = [
     "sqrt",
@@ -31,28 +35,44 @@ __all__ = [
 def sqrt(x):
     if isinstance(x, FadArray):
         r = np.sqrt(x.val)
-        return x._like(r, x.dx * (0.5 / r)[..., None])
-    return np.sqrt(x)
+        out = x._like(r, x.dx * (0.5 / r)[..., None])
+    else:
+        out = np.sqrt(x)
+    if _SAN.active:
+        _SAN.check("ops.sqrt", out, x)
+    return out
 
 
 def exp(x):
     if isinstance(x, FadArray):
         r = np.exp(x.val)
-        return x._like(r, x.dx * r[..., None])
-    return np.exp(x)
+        out = x._like(r, x.dx * r[..., None])
+    else:
+        out = np.exp(x)
+    if _SAN.active:
+        _SAN.check("ops.exp", out, x)
+    return out
 
 
 def log(x):
     if isinstance(x, FadArray):
-        return x._like(np.log(x.val), x.dx / x.val[..., None])
-    return np.log(x)
+        out = x._like(np.log(x.val), x.dx / x.val[..., None])
+    else:
+        out = np.log(x)
+    if _SAN.active:
+        _SAN.check("ops.log", out, x)
+    return out
 
 
 def power(x, p):
     """``x**p`` with ``p`` a plain exponent (possibly non-integer)."""
     if isinstance(x, FadArray):
-        return x.__pow__(p)
-    return np.power(x, p)
+        out = x.__pow__(p)
+    else:
+        out = np.power(x, p)
+    if _SAN.active:
+        _SAN.check("ops.power", out, x)
+    return out
 
 
 def sin(x):

@@ -13,8 +13,12 @@ import numpy as np
 
 from repro.observability import get_metrics, get_tracer
 from repro.resilience.detectors import classify_gmres
+from repro.verify.sanitizer import sanitizer
 
 __all__ = ["GmresResult", "gmres"]
+
+# disarmed fast path: one attribute read per instrumented site
+_SAN = sanitizer()
 
 _FLAG_REASONS = {
     "converged": "relative residual reached tolerance",
@@ -127,11 +131,22 @@ def gmres(
                 with tr.span("gmres.iteration", it=total_it):
                     Z[k] = precond(V[k])
                     w = matvec(Z[k])
+                    if _SAN.active:
+                        _SAN.check("gmres.matvec", w, Z[k], site=f"cycle {cycle} k={k}")
+                        _wnorm0 = norm(w)
                     # modified Gram-Schmidt
                     for i in range(k + 1):
                         H[i, k] = dot(w, V[i])
                         w -= H[i, k] * V[i]
                     H[k + 1, k] = norm(w)
+                    if _SAN.active:
+                        # the orthogonalized remainder collapsing relative
+                        # to the pre-MGS norm is the classic loss-of-
+                        # orthogonality cancellation
+                        _SAN.check_cancellation(
+                            "gmres.mgs", _wnorm0, _wnorm0, H[k + 1, k],
+                            site=f"cycle {cycle} k={k}",
+                        )
                     if H[k + 1, k] > 1.0e-14 * max(1.0, abs(H[k, k])):
                         V[k + 1] = w / H[k + 1, k]
                     else:
@@ -183,6 +198,8 @@ def gmres(
 
             r = b - matvec(x)
             rnorm = norm(r)
+            if _SAN.active:
+                _SAN.check("gmres.residual_norm", rnorm, site=f"cycle {cycle}")
             norms[-1] = float(rnorm)  # replace estimate with true residual
             if rnorm_cycle_start > 0.0:
                 cycle_reductions.append(float(rnorm / rnorm_cycle_start))

@@ -35,8 +35,12 @@ from repro.observability import get_metrics, get_tracer
 from repro.resilience.checkpoint import NewtonCheckpoint
 from repro.resilience.detectors import nonfinite_count
 from repro.solvers.gmres import gmres
+from repro.verify.sanitizer import sanitizer
 
 __all__ = ["NewtonResult", "newton_solve"]
+
+# disarmed fast path: one attribute read per instrumented site
+_SAN = sanitizer()
 
 
 @dataclass
@@ -226,6 +230,8 @@ def newton_solve(
             step=start_step, phase=what0, attempts=attempts,
         )
     fnorm = float(norm_fn(f))
+    if _SAN.active:
+        _SAN.check("newton.residual_norm", fnorm, f, site="initial")
     if resume_from is None:
         res.residual_norms.append(fnorm)
     if fnorm <= tol:
@@ -358,6 +364,11 @@ def newton_solve(
                         res.num_residual_evals += 1
                         if np.all(np.isfinite(f_trial)):
                             fnorm_trial = float(norm_fn(f_trial))
+                            if _SAN.active:
+                                _SAN.check(
+                                    "newton.residual_norm", fnorm_trial, f_trial,
+                                    site=f"step {step} line_search alpha={alpha:g}",
+                                )
                             if (
                                 fnorm_trial < (1.0 - 1.0e-4 * alpha) * fnorm
                                 or alpha <= damping_min

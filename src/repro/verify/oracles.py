@@ -1,0 +1,571 @@
+"""Differential oracle registry: implementations testify against each other.
+
+Every fast path in this repo exists as a rewrite of a slower reference
+-- optimized kernels vs the baseline listing, SFad derivatives vs the
+definition of a derivative, fused assembly vs separate evaluation, the
+SPMD solve vs the serial one, the rocprof byte formula vs the modeled
+traffic.  An :class:`Oracle` makes each such pair executable: run both
+sides, compare with an explicit tolerance contract, and report
+*first-divergence context* (slot, both values, error magnitudes) rather
+than a bare boolean.
+
+The table is declarative: oracles register themselves into
+:data:`ORACLES` with a suite tag, and ``python -m repro verify --suite
+<tag>`` (or the test suite) executes any slice of it.  Tolerance
+contracts, from strictest to loosest:
+
+======================  =========================================
+bitwise (rtol=atol=0)   SPMD vs serial, fused vs separate, value
+                        parts across scalar types, byte formula
+1e-12 relative          kernel variants (reassociated fp sums)
+1e-12 relative          complex-step derivatives (exact method)
+1e-8 relative           central differences (roundoff-limited;
+                        truncation is zero -- the body is
+                        quadratic along any direction)
+======================  =========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.verify.compare import Divergence, first_divergence
+
+__all__ = ["Oracle", "OracleResult", "ORACLES", "run_oracles", "suite_names", "perturbed_divergences"]
+
+
+@dataclass(frozen=True)
+class Oracle:
+    """One executable implementation-vs-reference contract."""
+
+    name: str
+    suite: str  # "kernels" | "jacobian" | "spmd" | "bytes"
+    description: str
+    fn: object  # () -> (list[Divergence], detail_str)
+
+
+@dataclass
+class OracleResult:
+    """Outcome of one oracle run."""
+
+    name: str
+    suite: str
+    passed: bool
+    detail: str
+    divergences: list = field(default_factory=list)
+
+    def describe(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        lines = [f"[{status}] {self.suite}/{self.name}: {self.detail}"]
+        lines += [f"    {d.describe()}" for d in self.divergences[:4]]
+        return "\n".join(lines)
+
+
+ORACLES: list[Oracle] = []
+
+
+def _register(name: str, suite: str, description: str):
+    def deco(fn):
+        ORACLES.append(Oracle(name=name, suite=suite, description=description, fn=fn))
+        return fn
+
+    return deco
+
+
+def suite_names() -> list[str]:
+    return sorted({o.suite for o in ORACLES})
+
+
+def run_oracles(suites=None, progress=None) -> list[OracleResult]:
+    """Execute the registry (optionally restricted to some suites)."""
+    results = []
+    for oracle in ORACLES:
+        if suites and oracle.suite not in suites:
+            continue
+        if progress:
+            progress(oracle)
+        try:
+            divergences, detail = oracle.fn()
+        except Exception as exc:  # an oracle crashing is a failure, not an abort
+            results.append(OracleResult(oracle.name, oracle.suite, False, f"raised {exc!r}"))
+            continue
+        results.append(
+            OracleResult(
+                name=oracle.name,
+                suite=oracle.suite,
+                passed=not divergences,
+                detail=detail,
+                divergences=list(divergences),
+            )
+        )
+    return results
+
+
+# ======================================================================
+# suite "kernels": every variant vs the reference kernel
+# ======================================================================
+
+_KERNEL_RTOL = 1.0e-12
+
+
+def _stokes_pair(impl: str, mode: str):
+    from repro.core.jacobian import run_kernel
+    from repro.verify.fixtures import stokes_fields_factory
+
+    factory = stokes_fields_factory(num_cells=6, mode=mode, seed=11)
+    ref, alt = factory(), factory()
+    run_kernel(f"baseline-{mode}", ref)
+    run_kernel(f"{impl}-{mode}", alt)
+    return ref, alt
+
+
+def _compare_stokes(impl: str, mode: str):
+    ref, alt = _stokes_pair(impl, mode)
+    scale = float(np.max(np.abs(ref.Residual.values())))
+    divs = []
+    d = first_divergence(
+        f"{impl}-{mode}/Residual.values",
+        alt.Residual.values(),
+        ref.Residual.values(),
+        rtol=_KERNEL_RTOL,
+        atol=_KERNEL_RTOL * scale,
+    )
+    if d:
+        divs.append(d)
+    if mode == "jacobian":
+        dscale = float(np.max(np.abs(ref.Residual.data.dx)))
+        d = first_divergence(
+            f"{impl}-{mode}/Residual.dx",
+            alt.Residual.data.dx,
+            ref.Residual.data.dx,
+            rtol=_KERNEL_RTOL,
+            atol=_KERNEL_RTOL * dscale,
+        )
+        if d:
+            divs.append(d)
+    return divs, f"{impl}-{mode} vs baseline-{mode} @ rtol {_KERNEL_RTOL:g}"
+
+
+for _impl in ("optimized", "fused"):
+    for _mode in ("residual", "jacobian"):
+
+        @_register(
+            f"{_impl}-{_mode}-vs-baseline",
+            "kernels",
+            f"{_impl} {_mode} kernel agrees with the Fig. 2 baseline listing",
+        )
+        def _oracle_stokes_variant(impl=_impl, mode=_mode):
+            return _compare_stokes(impl, mode)
+
+
+def _fill_viscosity(fields, seed=21):
+    # base inputs come from one stream, derivative seeds from another, so
+    # double- and Fad-typed field sets see identical base values
+    rng = np.random.default_rng(seed)
+    nc, nq = fields.num_cells, fields.num_qps
+    ug = rng.normal(size=(nc, nq, 2, 3)) * 1e-3
+    ff = rng.uniform(1e-6, 1e-4, size=(nc, nq))
+    if fields.scalar.is_fad:
+        drng = np.random.default_rng(seed + 1)
+        fields.Ugrad.data.val[...] = ug
+        fields.Ugrad.data.dx[...] = drng.normal(size=ug.shape + (fields.scalar.fad_dim,)) * 1e-6
+    else:
+        fields.Ugrad.data[...] = ug
+    fields.flowFactor.data[...] = ff
+    return fields
+
+
+@_register(
+    "viscosity-value-consistency",
+    "kernels",
+    "ViscosityFO value part agrees under double and SFad scalar types",
+)
+def _oracle_viscosity_values():
+    from repro.core.viscosity_kernel import ViscosityFOKernel, make_viscosity_fields
+
+    fr = _fill_viscosity(make_viscosity_fields(6, mode="residual"))
+    fj = _fill_viscosity(make_viscosity_fields(6, mode="jacobian"))
+    for f in (fr, fj):
+        functor = ViscosityFOKernel(f)
+        for c in range(f.num_cells):
+            functor(c)
+    # not bitwise: the double path evaluates ``np.float64 ** p`` (scalar
+    # pow) while the SFad value path evaluates ``ndarray ** p`` (the
+    # npy_pow ufunc), and the two libm routes can disagree in the last
+    # ulp.  1e-14 is ~50 ulp of slack -- any algebraic difference between
+    # the paths is orders of magnitude larger.
+    scale = float(np.max(np.abs(fr.muLandIce.values()))) or 1.0
+    d = first_divergence(
+        "viscosity/muLandIce.values",
+        fj.muLandIce.values(),
+        fr.muLandIce.values(),
+        rtol=1e-14,
+        atol=1e-14 * scale,
+    )
+    return ([d] if d else []), "SFad value path vs double path @ rtol 1e-14"
+
+
+def _race_oracle_fn(key: str):
+    from repro.core.variants import get_variant
+    from repro.verify.race import RaceChecker
+
+    variant = get_variant(key)
+    if variant.family == "viscosity":
+        from repro.core.viscosity_kernel import make_viscosity_fields
+
+        def factory(mode=variant.mode):
+            return _fill_viscosity(make_viscosity_fields(6, mode=mode))
+
+        checker = RaceChecker(key, variant.make_functor, factory, outputs=["muLandIce"])
+    else:
+        from repro.verify.fixtures import stokes_fields_factory
+
+        checker = RaceChecker(
+            key, variant.make_functor, stokes_fields_factory(num_cells=6, mode=variant.mode, seed=11)
+        )
+    report = checker.check()
+    divs = [d for _, d in report.order_divergences]
+    if report.findings:
+        # surface write-set findings even without a bitwise divergence
+        return (
+            divs
+            or [
+                Divergence(
+                    name=f"{key}/write-sets",
+                    index=(0,),
+                    lhs=float("nan"),
+                    rhs=float("nan"),
+                    abs_err=float("nan"),
+                    max_abs_err=float("nan"),
+                    num_bad=len(report.findings),
+                )
+            ],
+            report.describe(),
+        )
+    return divs, report.describe()
+
+
+for _key in (
+    "baseline-residual",
+    "baseline-jacobian",
+    "optimized-residual",
+    "optimized-jacobian",
+    "fused-residual",
+    "fused-jacobian",
+    "viscosity-residual",
+    "viscosity-jacobian",
+):
+
+    @_register(
+        f"race-{_key}",
+        "kernels",
+        f"{_key} body is race-free and bitwise order-independent",
+    )
+    def _oracle_race(key=_key):
+        return _race_oracle_fn(key)
+
+
+# ======================================================================
+# suite "jacobian": SFad vs the definition of the derivative
+# ======================================================================
+
+
+class _DuckStokesFields:
+    """Minimal fields bundle over raw ndarrays (real *or* complex).
+
+    The kernel bodies are single-source polynomials over ``+``/``*``, so
+    they run unchanged on complex arrays -- which is what makes the
+    complex-step derivative applicable at all.
+    """
+
+    def __init__(self, Ugrad, muLandIce, force, wBF, wGradBF, dtype):
+        self.Ugrad = Ugrad.astype(dtype)
+        self.muLandIce = muLandIce.astype(dtype)
+        self.force = force.astype(dtype)
+        self.wBF = wBF
+        self.wGradBF = wGradBF
+        nc, nn = wBF.shape[0], wBF.shape[1]
+        self.Residual = np.zeros((nc, nn, 2), dtype=dtype)
+        self.num_nodes = nn
+        self.num_qps = wBF.shape[2]
+        self._zero = dtype(0)
+
+    def zero(self, cell):
+        return self._zero
+
+
+def _duck_residual(base: dict, dU, dmu, dfrc, t, dtype=np.float64) -> np.ndarray:
+    """Evaluate the optimized body at ``base + t * direction``."""
+    from repro.core.kernels import StokesFOResidOptimized
+
+    fields = _DuckStokesFields(
+        base["Ugrad"] + t * dU,
+        base["muLandIce"] + t * dmu,
+        base["force"] + t * dfrc,
+        base["wBF"],
+        base["wGradBF"],
+        dtype,
+    )
+    functor = StokesFOResidOptimized(fields)
+    for c in range(fields.wBF.shape[0]):
+        functor(c)
+    return fields.Residual
+
+
+def _seeded_jacobian_setup(num_cells=4, seed=31):
+    """Base point, per-component directions, and the SFad-computed dirs.
+
+    Returns ``(base, dirs, sfad_dirderiv)`` where ``sfad_dirderiv[k]``
+    is the kernel-propagated directional derivative along direction
+    ``k`` (shape ``(nc, nn, 2)``).
+    """
+    from repro.core.fields import JACOBIAN_FAD_SIZE, make_stokes_fields
+    from repro.core.jacobian import run_kernel
+
+    rng = np.random.default_rng(seed)
+    nc, nn, nq = num_cells, 8, 8
+    base = {
+        "Ugrad": rng.normal(size=(nc, nq, 2, 3)) * 1e-3,
+        "muLandIce": rng.uniform(1e3, 1e5, size=(nc, nq)),
+        "force": rng.normal(size=(nc, nq, 2)) * 10.0,
+        "wBF": rng.uniform(0.1, 1.0, size=(nc, nn, nq)),
+        "wGradBF": rng.normal(size=(nc, nn, nq, 3)) * 1e-3,
+    }
+    k = JACOBIAN_FAD_SIZE
+    # direction magnitudes follow each view's scale so finite differences
+    # perturb every input comparably in relative terms
+    dirs = {
+        "Ugrad": rng.normal(size=base["Ugrad"].shape + (k,)) * 1e-3,
+        "muLandIce": rng.normal(size=base["muLandIce"].shape + (k,)) * 1e3,
+        "force": rng.normal(size=base["force"].shape + (k,)) * 1.0,
+    }
+
+    fields = make_stokes_fields(nc, mode="jacobian")
+    for name in ("Ugrad", "muLandIce", "force"):
+        view = getattr(fields, name)
+        view.data.val[...] = base[name]
+        view.data.dx[...] = dirs[name]
+    fields.wBF.data[...] = base["wBF"]
+    fields.wGradBF.data[...] = base["wGradBF"]
+    run_kernel("optimized-jacobian", fields)
+    sfad = np.moveaxis(fields.Residual.data.dx, -1, 0)  # (k, nc, nn, 2)
+    return base, dirs, sfad
+
+
+@_register(
+    "sfad-vs-central-fd",
+    "jacobian",
+    "SFad directional derivatives match central finite differences",
+)
+def _oracle_sfad_fd():
+    base, dirs, sfad = _seeded_jacobian_setup()
+    eps = 1.0e-3  # truncation is exactly zero (body quadratic along t)
+    divs = []
+    for k in range(sfad.shape[0]):
+        dU, dmu, dfrc = dirs["Ugrad"][..., k], dirs["muLandIce"][..., k], dirs["force"][..., k]
+        fp = _duck_residual(base, dU, dmu, dfrc, +eps)
+        fm = _duck_residual(base, dU, dmu, dfrc, -eps)
+        fd = (fp - fm) / (2.0 * eps)
+        scale = max(1.0e-30, float(np.max(np.abs(fd))))
+        d = first_divergence(f"dResidual[dir {k}] (fd)", sfad[k], fd, rtol=1e-8, atol=1e-8 * scale)
+        if d:
+            divs.append(d)
+    return divs, f"16 directions, eps={eps:g}, rtol 1e-8"
+
+
+@_register(
+    "sfad-vs-complex-step",
+    "jacobian",
+    "SFad directional derivatives match the complex-step derivative",
+)
+def _oracle_sfad_complex():
+    base, dirs, sfad = _seeded_jacobian_setup()
+    h = 1.0e-20  # no subtractive cancellation: h can sit below roundoff
+    divs = []
+    for k in range(sfad.shape[0]):
+        dU, dmu, dfrc = dirs["Ugrad"][..., k], dirs["muLandIce"][..., k], dirs["force"][..., k]
+        fc = _duck_residual(base, dU, dmu, dfrc, 1j * h, dtype=np.complex128)
+        cs = fc.imag / h
+        scale = max(1.0e-30, float(np.max(np.abs(cs))))
+        d = first_divergence(
+            f"dResidual[dir {k}] (complex)", sfad[k], cs, rtol=1e-12, atol=1e-12 * scale
+        )
+        if d:
+            divs.append(d)
+    return divs, f"16 directions, h={h:g}, rtol 1e-12"
+
+
+def _small_problem(nparts: int = 1):
+    from repro.app import AntarcticaConfig, AntarcticaTest, VelocityConfig
+
+    cfg = AntarcticaConfig(
+        resolution_km=400.0,
+        num_layers=3,
+        velocity=VelocityConfig(nparts=nparts),
+    )
+    return AntarcticaTest.build(cfg).problem
+
+
+@_register(
+    "fused-assembly-vs-separate",
+    "jacobian",
+    "fused residual_and_jacobian equals separate residual/jacobian, bitwise",
+)
+def _oracle_fused_assembly():
+    problem = _small_problem()
+    rng = np.random.default_rng(42)
+    u = rng.normal(size=problem.dofmap.num_dofs) * 10.0
+    u[problem.bc_dofs] = 0.0
+    f_fused, A_fused = problem.residual_and_jacobian(u)
+    f_sep = problem.residual(u)
+    A_sep = problem.jacobian(u)
+    divs = []
+    d = first_divergence("residual (fused vs separate)", f_fused, f_sep)
+    if d:
+        divs.append(d)
+    d = first_divergence("jacobian.data (fused vs separate)", A_fused.data, A_sep.data)
+    if d:
+        divs.append(d)
+    return divs, f"{problem.dofmap.num_dofs} dofs, bitwise"
+
+
+@_register(
+    "sanitizer-clean-solve",
+    "jacobian",
+    "a full velocity solve creates no NaN/Inf under the armed sanitizer",
+)
+def _oracle_sanitizer_clean():
+    from repro.verify.sanitizer import sanitizing
+
+    problem = _small_problem()
+    with sanitizing(mode="record") as san:
+        sol = problem.solve()
+    divs = []
+    if san.counts["nonfinite"]:
+        divs.append(
+            Divergence(
+                name="sanitizer.nonfinite",
+                index=(0,),
+                lhs=float(san.counts["nonfinite"]),
+                rhs=0.0,
+                abs_err=float(san.counts["nonfinite"]),
+                max_abs_err=float(san.counts["nonfinite"]),
+                num_bad=san.counts["nonfinite"],
+            )
+        )
+    detail = (
+        f"solve converged to |F|={sol.newton.residual_norms[-1]:.3e}; "
+        f"sanitizer events: {san.summary()['events']} "
+        f"(nonfinite={san.counts['nonfinite']}, cancellation={san.counts['cancellation']}, "
+        f"denormal={san.counts['denormal']})"
+    )
+    return divs, detail
+
+
+# ======================================================================
+# suite "spmd": partitioned solves vs the serial solve
+# ======================================================================
+
+
+@_register(
+    "spmd-vs-serial",
+    "spmd",
+    "SPMD solves at nparts in {1,2,4,7} are bitwise identical to serial",
+)
+def _oracle_spmd():
+    serial = _small_problem(1).solve()
+    divs = []
+    checked = []
+    for nparts in (1, 2, 4, 7):
+        sol = _small_problem(nparts).solve()
+        d = first_divergence(f"u (nparts={nparts})", sol.u, serial.u)
+        if d:
+            divs.append(d)
+        if sol.newton.residual_norms != serial.newton.residual_norms:
+            divs.append(
+                Divergence(
+                    name=f"newton.residual_norms (nparts={nparts})",
+                    index=(0,),
+                    lhs=sol.newton.residual_norms[-1],
+                    rhs=serial.newton.residual_norms[-1],
+                    abs_err=abs(sol.newton.residual_norms[-1] - serial.newton.residual_norms[-1]),
+                    max_abs_err=0.0,
+                    num_bad=1,
+                )
+            )
+        checked.append(nparts)
+    return divs, f"nparts {checked} vs serial, {len(serial.u)} dofs, bitwise"
+
+
+# ======================================================================
+# suite "bytes": the appendix TCC_EA formula vs the modeled traffic
+# ======================================================================
+
+
+@_register(
+    "rocprof-formula-vs-model",
+    "bytes",
+    "64B-request rocprof formula reconciles exactly with modeled HBM bytes",
+)
+def _oracle_bytes():
+    from repro.core.variants import variant_names
+    from repro.gpusim import ANTARCTICA_16KM, GPUSimulator
+    from repro.gpusim.specs import ALL_GPUS
+
+    divs = []
+    checked = 0
+    for gpu, spec in ALL_GPUS.items():
+        sim = GPUSimulator(spec)
+        for key in variant_names():
+            p = sim.run(key, ANTARCTICA_16KM)
+            dm = p.data_movement
+            formula = dm.rocprof_formula_bytes()
+            if formula != dm.total_bytes or dm.total_bytes <= 0.0:
+                divs.append(
+                    Divergence(
+                        name=f"{gpu}/{key}",
+                        index=(0,),
+                        lhs=formula,
+                        rhs=dm.total_bytes,
+                        abs_err=abs(formula - dm.total_bytes),
+                        max_abs_err=abs(formula - dm.total_bytes),
+                        num_bad=1,
+                    )
+                )
+            checked += 1
+    return divs, f"{checked} (gpu, variant) pairs, exact equality"
+
+
+# ======================================================================
+# the perturbed-kernel probe (used by the detection selftest, not
+# registered: it is *supposed* to diverge)
+# ======================================================================
+
+
+def perturbed_divergences(mode: str = "residual"):
+    """Divergences of the seeded wrong-coefficient kernel vs the baseline.
+
+    Nonempty list == the oracle machinery can catch a realistic porting
+    bug; used by ``python -m repro verify`` as a negative control and by
+    ``--fixture perturbed`` as a fake production kernel.
+    """
+    from repro.core.jacobian import run_kernel
+    from repro.verify.fixtures import PerturbedStokesFOResid, stokes_fields_factory
+
+    factory = stokes_fields_factory(num_cells=6, mode=mode, seed=11)
+    ref, alt = factory(), factory()
+    run_kernel(f"baseline-{mode}", ref)
+    functor = PerturbedStokesFOResid(alt)
+    for c in range(alt.num_cells):
+        functor(c)
+    scale = float(np.max(np.abs(ref.Residual.values())))
+    d = first_divergence(
+        f"perturbed-{mode}/Residual.values",
+        alt.Residual.values(),
+        ref.Residual.values(),
+        rtol=_KERNEL_RTOL,
+        atol=_KERNEL_RTOL * scale,
+    )
+    return [d] if d else []

@@ -1,0 +1,26 @@
+"""Shared pytest configuration.
+
+Registers hypothesis profiles: CI runs derandomized (``derandomize=True``
+makes example generation a pure function of the test body, so a red CI
+is reproducible locally and a green CI never depends on the draw), local
+runs keep random exploration to find new counterexamples over time.
+Select explicitly with ``HYPOTHESIS_PROFILE=ci|dev``; otherwise the
+``CI`` environment variable decides.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile("dev", deadline=None)
+
+settings.load_profile(
+    os.environ.get("HYPOTHESIS_PROFILE", "ci" if os.environ.get("CI") else "dev")
+)

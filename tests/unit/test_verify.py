@@ -1,0 +1,287 @@
+"""Tests for the verification subsystem (race checker, oracles, sanitizer)."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import ops
+from repro.autodiff.sfad import SFad
+from repro.verify.compare import first_divergence, max_abs_error
+from repro.verify.fixtures import (
+    PerturbedStokesFOResid,
+    RacyNodalScatter,
+    make_racy_fields,
+    stokes_fields_factory,
+)
+from repro.verify.race import (
+    RaceChecker,
+    ShadowFields,
+    check_order_independence,
+    find_races,
+    iteration_orders,
+    record_access_sets,
+)
+from repro.verify.sanitizer import SanitizerError, sanitizer, sanitizing
+
+
+class TestCompare:
+    def test_equal_arrays_no_divergence(self):
+        a = np.arange(12.0).reshape(3, 4)
+        assert first_divergence("x", a, a.copy()) is None
+
+    def test_bitwise_catches_ulp(self):
+        a = np.ones(4)
+        b = a.copy()
+        b[2] = np.nextafter(1.0, 2.0)
+        d = first_divergence("x", a, b)
+        assert d is not None
+        assert d.index == (2,)
+        assert d.num_bad == 1
+
+    def test_nan_never_agrees(self):
+        a = np.array([1.0, np.nan])
+        assert first_divergence("x", a, a.copy()) is not None
+
+    def test_tolerance_mode(self):
+        a = np.array([1.0, 2.0])
+        b = np.array([1.0 + 1e-14, 2.0])
+        assert first_divergence("x", a, b, rtol=1e-12) is None
+        assert first_divergence("x", a, b, rtol=1e-16) is not None
+
+    def test_first_index_is_c_order(self):
+        a = np.zeros((2, 3))
+        b = a.copy()
+        b[0, 2] = 1.0
+        b[1, 0] = 1.0
+        d = first_divergence("x", a, b)
+        assert d.index == (0, 2)
+        assert d.num_bad == 2
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            first_divergence("x", np.zeros(3), np.zeros(4))
+
+    def test_max_abs_error(self):
+        assert max_abs_error([1.0, 2.0], [1.0, 2.5]) == 0.5
+        assert max_abs_error([], []) == 0.0
+
+    def test_describe_mentions_slot(self):
+        d = first_divergence("Residual", np.zeros(3), np.array([0.0, 1.0, 0.0]))
+        assert "Residual[1]" in d.describe()
+
+
+class TestRaceChecker:
+    def test_racy_fixture_write_sets_flagged(self):
+        fields = make_racy_fields()
+        rec = record_access_sets(RacyNodalScatter, fields, fields.num_cells)
+        findings = find_races(rec)
+        assert findings, "shared-nodal scatter must produce race findings"
+        assert any(f.kind == "write-write" for f in findings)
+        assert all(f.view == "nodal" for f in findings)
+
+    def test_racy_fixture_order_divergence(self):
+        divs, orders = check_order_independence(
+            RacyNodalScatter, lambda: make_racy_fields(), extent=12
+        )
+        assert "permuted" in orders and "reversed" in orders
+        assert divs, "reassociated shared-node sums must diverge bitwise"
+
+    def test_racy_report_end_to_end(self):
+        report = RaceChecker(
+            "racy", RacyNodalScatter, lambda: make_racy_fields()
+        ).check()
+        assert not report.passed
+        assert "race" in report.describe()
+
+    @pytest.mark.parametrize("mode", ["residual", "jacobian"])
+    def test_production_kernels_clean(self, mode):
+        from repro.core.variants import get_variant
+
+        v = get_variant(f"optimized-{mode}")
+        report = RaceChecker(
+            v.key, v.make_functor, stokes_fields_factory(num_cells=4, mode=mode, seed=3)
+        ).check()
+        assert report.passed, report.describe()
+        assert report.orders_checked == ("identity", "reversed", "strided", "permuted")
+
+    def test_iteration_orders_are_permutations(self):
+        orders = iteration_orders(17, seed=5)
+        for name, order in orders.items():
+            assert sorted(order) == list(range(17)), name
+        assert not np.array_equal(orders["permuted"], orders["identity"])
+
+    def test_shadow_fields_forwards_non_views(self):
+        fields = make_racy_fields()
+        rec = record_access_sets(RacyNodalScatter, fields, 2)
+        # conn is a plain ndarray: forwarded, not recorded
+        assert all(view == "nodal" or view == "cellval" for (view, _), _ in rec.writes.items())
+
+    def test_shadow_rejects_non_integer_index(self):
+        from repro.verify.race import AccessRecorder
+
+        fields = make_racy_fields()
+        shadow = ShadowFields(fields, AccessRecorder())
+        with pytest.raises(TypeError):
+            shadow.nodal[0:2]
+
+    def test_perturbed_kernel_is_order_independent_but_wrong(self):
+        """The perturbed fixture shows why oracles and race checks differ."""
+        from repro.core.jacobian import run_kernel
+
+        factory = stokes_fields_factory(num_cells=4, seed=9)
+        report = RaceChecker("perturbed", PerturbedStokesFOResid, factory).check()
+        assert report.passed  # deterministic...
+        ref, alt = factory(), factory()
+        run_kernel("baseline-residual", ref)
+        functor = PerturbedStokesFOResid(alt)
+        for c in range(alt.num_cells):
+            functor(c)
+        assert not np.allclose(  # ...but numerically wrong
+            ref.Residual.values(), alt.Residual.values(), rtol=1e-9
+        )
+
+
+class TestSanitizer:
+    def test_disarmed_by_default(self):
+        assert sanitizer().active is False
+
+    def test_nonfinite_creation_trapped(self):
+        with sanitizing() as san:
+            san.check("test.op", np.array([1.0, np.inf]), np.array([1.0, 2.0]))
+        assert san.counts["nonfinite"] == 1
+        assert san.events[0].op == "test.op"
+
+    def test_propagation_not_retrapped(self):
+        with sanitizing() as san:
+            san.check("test.op", np.array([np.nan]), np.array([np.nan]))
+        assert san.counts["nonfinite"] == 0
+
+    def test_cancellation_trapped(self):
+        with sanitizing(cancellation_ratio=1e-10) as san:
+            a = 1.0e8
+            san.check_cancellation("test.sub", a, a, a - np.nextafter(a, 2 * a))
+        assert san.counts["cancellation"] == 1
+
+    def test_denormal_trapped_and_optional(self):
+        tiny = np.array([1.0e-320])
+        with sanitizing() as san:
+            san.check("test.op", tiny)
+        assert san.counts["denormal"] == 1
+        with sanitizing(trap_denormals=False) as san:
+            san.check("test.op", tiny)
+        assert san.counts["denormal"] == 0
+
+    def test_raise_mode(self):
+        with pytest.raises(SanitizerError, match="test.op"):
+            with sanitizing(mode="raise"):
+                sanitizer().check("test.op", np.array([np.nan]), np.array([1.0]))
+        assert sanitizer().active is False  # context manager disarmed on the way out
+
+    def test_nested_arming_rejected(self):
+        with sanitizing():
+            with pytest.raises(RuntimeError):
+                with sanitizing():
+                    pass
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            sanitizer().arm(mode="explode")
+
+    def test_fad_operands(self):
+        fad = SFad(2)(np.array([1.0]), np.array([[np.inf, 0.0]]))
+        with sanitizing() as san:
+            san.check("test.op", fad, np.array([1.0]))
+        assert san.counts["nonfinite"] == 1
+
+    def test_ops_log_creation_has_provenance(self):
+        x = np.array([2.0, -1.0])
+        with np.errstate(invalid="ignore"):
+            assert not np.all(np.isfinite(ops.log(x)))  # disarmed: silent
+            with sanitizing() as san:
+                ops.log(x)
+        assert san.counts["nonfinite"] == 1
+        assert san.summary()["by_op"] == {"ops.log": 1}
+
+    def test_ops_sqrt_exp_power_instrumented(self):
+        with np.errstate(invalid="ignore", over="ignore"):
+            with sanitizing() as san:
+                ops.sqrt(np.array([-1.0]))
+                ops.exp(np.array([1.0e300]))
+                ops.power(np.array([-2.0]), 0.5)
+        assert san.counts["nonfinite"] == 3
+
+    def test_ops_clean_inputs_no_events(self):
+        with sanitizing() as san:
+            ops.sqrt(np.array([4.0]))
+            ops.log(np.array([2.7]))
+            ops.exp(np.array([1.0]))
+        assert san.summary()["events"] == 0
+
+    def test_gmres_runs_clean_under_sanitizer(self):
+        from repro.solvers.gmres import gmres
+
+        rng = np.random.default_rng(0)
+        A = np.diag(rng.uniform(1.0, 2.0, 20)) + 0.01 * rng.normal(size=(20, 20))
+        b = rng.normal(size=20)
+        with sanitizing() as san:
+            result = gmres(lambda v: A @ v, b, tol=1e-10)
+        assert result.converged
+        assert san.counts["nonfinite"] == 0
+
+    def test_summary_shape(self):
+        with sanitizing() as san:
+            pass
+        s = san.summary()
+        assert set(s) == {"events", "nonfinite", "cancellation", "denormal", "by_op"}
+
+
+class TestOracles:
+    def test_registry_covers_all_suites(self):
+        from repro.verify.oracles import ORACLES, suite_names
+
+        assert set(suite_names()) == {"kernels", "jacobian", "spmd", "bytes"}
+        names = [o.name for o in ORACLES]
+        assert len(names) == len(set(names)), "oracle names must be unique"
+        # every kernel variant has a race oracle
+        from repro.core.variants import variant_names
+
+        for key in variant_names():
+            assert f"race-{key}" in names
+
+    def test_all_kernel_oracles_pass(self):
+        from repro.verify.oracles import run_oracles
+
+        results = run_oracles(["kernels"])
+        failed = [r.describe() for r in results if not r.passed]
+        assert not failed, failed
+        by_name = {r.name: r for r in results}
+        for impl in ("optimized", "fused"):
+            for mode in ("residual", "jacobian"):
+                assert f"{impl}-{mode}-vs-baseline" in by_name
+
+    def test_perturbed_divergences_nonempty(self):
+        from repro.verify.oracles import perturbed_divergences
+
+        divs = perturbed_divergences()
+        assert divs and divs[0].num_bad > 0
+
+    def test_crashing_oracle_is_a_failure_not_an_abort(self):
+        from repro.verify.oracles import Oracle, run_oracles
+
+        bad = Oracle("boom", "kernels", "always raises", lambda: 1 / 0)
+        import repro.verify.oracles as mod
+
+        mod.ORACLES.append(bad)
+        try:
+            results = run_oracles(["kernels"])
+        finally:
+            mod.ORACLES.remove(bad)
+        r = [x for x in results if x.name == "boom"][0]
+        assert not r.passed and "raised" in r.detail
+
+    def test_bytes_oracle_exact(self):
+        from repro.verify.oracles import ORACLES
+
+        oracle = [o for o in ORACLES if o.name == "rocprof-formula-vs-model"][0]
+        divs, detail = oracle.fn()
+        assert not divs, [d.describe() for d in divs]
+        assert "exact" in detail

@@ -78,7 +78,28 @@ def table2():
             )
 
 
+TABLES = {"2": table2, "3": table3, "4": table4}
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--table",
+        choices=["2", "3", "4", "all"],
+        default="all",
+        help="which paper-table analogue to print (default: all)",
+    )
+    args = parser.parse_args(argv)
+    if args.table == "all":
+        table3()
+        table4()
+        table2()
+    else:
+        TABLES[args.table]()
+    return 0
+
+
 if __name__ == "__main__":
-    table3()
-    table4()
-    table2()
+    raise SystemExit(main())

@@ -1,0 +1,139 @@
+"""Regenerate the golden baselines under ``tests/goldens/``.
+
+Run this ONLY after an intentional numerics change (new kernel math,
+solver retuning, machine-model recalibration), then review the printed
+drift against the old goldens before committing the new ``.npz`` files:
+
+    PYTHONPATH=src python tools/regen_goldens.py            # all goldens
+    PYTHONPATH=src python tools/regen_goldens.py --only antarctica
+
+Each golden stores the inputs that produced it (resolution, layers,
+grid) so the diff test can refuse to compare against a stale fixture.
+"""
+
+import argparse
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+GOLDEN_DIR = REPO_ROOT / "tests" / "goldens"
+
+
+def antarctica_golden() -> dict:
+    """Coarse Antarctica velocity solve (the tier-1 integration config)."""
+    from repro.app import AntarcticaConfig, AntarcticaTest
+
+    config = AntarcticaConfig(resolution_km=300.0, num_layers=5)
+    sol = AntarcticaTest.build(config).run()
+    return {
+        "u": sol.u,
+        "residual_norms": np.asarray(sol.newton.residual_norms, dtype=np.float64),
+        "mean_velocity": np.float64(sol.mean_velocity),
+        "max_velocity": np.float64(sol.max_velocity),
+        "surface_mean_velocity": np.float64(sol.surface_mean_velocity),
+        "resolution_km": np.float64(config.resolution_km),
+        "num_layers": np.int64(config.num_layers),
+    }
+
+
+def greenland_golden() -> dict:
+    """Coarse Greenland velocity solve (elongated single-dome geometry)."""
+    from repro.app.config import VelocityConfig
+    from repro.app.velocity_solver import StokesVelocityProblem
+    from repro.mesh import greenland_geometry
+    from repro.mesh.extrude import extrude_footprint
+    from repro.mesh.planar import masked_quad_footprint
+
+    nx, ny, nlayers = 9, 15, 5
+    geo = greenland_geometry()
+    fp = masked_quad_footprint(nx, ny, geo.lx, geo.ly, geo.mask)
+    mesh = extrude_footprint(fp, geo, nlayers)
+    sol = StokesVelocityProblem(mesh, geo, VelocityConfig()).solve()
+    return {
+        "u": sol.u,
+        "residual_norms": np.asarray(sol.newton.residual_norms, dtype=np.float64),
+        "mean_velocity": np.float64(sol.mean_velocity),
+        "max_velocity": np.float64(sol.max_velocity),
+        "surface_mean_velocity": np.float64(sol.surface_mean_velocity),
+        "grid": np.array([nx, ny, nlayers], dtype=np.int64),
+    }
+
+
+def table3_golden() -> dict:
+    """Table III analogue: baseline/optimized times and speedups per GPU."""
+    from repro.gpusim import A100, MI250X_GCD, GPUSimulator
+    from repro.kokkos.policy import LaunchBounds
+
+    amd_tuned = LaunchBounds(128, 2)
+    gpus, modes, base_t, opt_t = [], [], [], []
+    for spec in (A100, MI250X_GCD):
+        sim = GPUSimulator(spec)
+        for mode in ("jacobian", "residual"):
+            b = sim.run(f"baseline-{mode}")
+            lb = amd_tuned if spec.vendor == "amd" else None
+            o = sim.run(f"optimized-{mode}", launch_bounds=lb)
+            gpus.append(spec.name)
+            modes.append(mode)
+            base_t.append(b.time_s)
+            opt_t.append(o.time_s)
+    base = np.asarray(base_t)
+    opt = np.asarray(opt_t)
+    return {
+        "gpu": np.array(gpus),
+        "mode": np.array(modes),
+        "baseline_time_s": base,
+        "optimized_time_s": opt,
+        "speedup": base / opt,
+    }
+
+
+GOLDENS = {
+    "antarctica": antarctica_golden,
+    "greenland": greenland_golden,
+    "table3": table3_golden,
+}
+
+
+def _report_drift(path: Path, fresh: dict) -> None:
+    if not path.exists():
+        print(f"  {path.name}: new golden")
+        return
+    old = np.load(path, allow_pickle=False)
+    for key, val in fresh.items():
+        if key not in old:
+            print(f"  {path.name}:{key}: new field")
+            continue
+        a, b = np.asarray(old[key]), np.asarray(val)
+        if a.shape != b.shape:
+            print(f"  {path.name}:{key}: shape {a.shape} -> {b.shape}")
+        elif a.dtype.kind in "US" or b.dtype.kind in "US":
+            if not np.array_equal(a, b):
+                print(f"  {path.name}:{key}: changed")
+        else:
+            diff = float(np.max(np.abs(a - b))) if a.size else 0.0
+            if diff > 0.0:
+                print(f"  {path.name}:{key}: max |drift| = {diff:.3e}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--only", choices=sorted(GOLDENS), default=None, help="regenerate a single golden"
+    )
+    args = parser.parse_args(argv)
+
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    names = [args.only] if args.only else sorted(GOLDENS)
+    for name in names:
+        print(f"regenerating {name} ...")
+        fresh = GOLDENS[name]()
+        path = GOLDEN_DIR / f"{name}.npz"
+        _report_drift(path, fresh)
+        np.savez_compressed(path, **fresh)
+        print(f"  wrote {path.relative_to(REPO_ROOT)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

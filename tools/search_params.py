@@ -19,6 +19,11 @@ from repro.perf.theoretical import theoretical_minimum
 AMD_TUNED = LaunchBounds(128, 2)
 NC = 256_000
 
+#: squared-log-error charged per target when a candidate spec produces a
+#: ratio log() can't score (zero, negative, or non-finite) -- far worse
+#: than any plausible real point, so the sweep skips it instead of dying
+BAD_POINT_PENALTY = 100.0
+
 
 def evaluate(a100, mi):
     """Return (error, metrics dict)."""
@@ -44,32 +49,47 @@ def evaluate(a100, mi):
         tuned = simm.run(f"optimized-{mode}", launch_bounds=AMD_TUNED)
         out[f"t2_{mode}"] = dflt.time_s / tuned.time_s
 
-    targets = {
-        "A_jacobian_speedup": (3.3, 3.0),
-        "A_residual_speedup": (2.2, 3.0),
-        "M_jacobian_speedup": (2.7, 3.0),
-        "M_residual_speedup": (3.5, 3.0),
-        "t2_jacobian": (1.54, 2.0),
-        "t2_residual": (1.17, 2.0),
-        "A_jacobian_edm_b": (0.53, 1.0),
-        "M_jacobian_edm_b": (0.42, 1.0),
-        "A_residual_edm_b": (0.65, 0.5),
-        "M_residual_edm_b": (0.41, 0.5),
-        "A_jacobian_edm_o": (0.84, 1.0),
-        "M_jacobian_edm_o": (0.81, 1.0),
-        "A_jacobian_et_o": (0.79, 1.0),
-        "M_jacobian_et_o": (0.53, 1.0),
-        "A_residual_et_o": (0.88, 1.0),
-        "M_residual_et_o": (0.60, 1.0),
-    }
+    return score(out), out
+
+
+#: (paper value, weight) per metric key produced by :func:`evaluate`
+TARGETS = {
+    "A_jacobian_speedup": (3.3, 3.0),
+    "A_residual_speedup": (2.2, 3.0),
+    "M_jacobian_speedup": (2.7, 3.0),
+    "M_residual_speedup": (3.5, 3.0),
+    "t2_jacobian": (1.54, 2.0),
+    "t2_residual": (1.17, 2.0),
+    "A_jacobian_edm_b": (0.53, 1.0),
+    "M_jacobian_edm_b": (0.42, 1.0),
+    "A_residual_edm_b": (0.65, 0.5),
+    "M_residual_edm_b": (0.41, 0.5),
+    "A_jacobian_edm_o": (0.84, 1.0),
+    "M_jacobian_edm_o": (0.81, 1.0),
+    "A_jacobian_et_o": (0.79, 1.0),
+    "M_jacobian_et_o": (0.53, 1.0),
+    "A_residual_et_o": (0.88, 1.0),
+    "M_residual_et_o": (0.60, 1.0),
+}
+
+
+def score(out):
+    """Weighted squared-log error of ``out`` against :data:`TARGETS`."""
     err = 0.0
-    for k, (t, w) in targets.items():
-        err += w * (math.log(out[k] / t)) ** 2
-    return err, out
+    for k, (t, w) in TARGETS.items():
+        v = out[k]
+        # a degenerate candidate spec can drive a ratio to zero, negative,
+        # or non-finite territory; log() would raise and abort the whole
+        # sweep, so charge a flat worst-case penalty and move on
+        if not math.isfinite(v) or v <= 0.0:
+            err += w * BAD_POINT_PENALTY
+            continue
+        err += w * (math.log(v / t)) ** 2
+    return err
 
 
-def main():
-    best = None
+def build_grids(quick: bool = False):
+    """Search grids per GPU; ``quick`` collapses them to a smoke-sized sweep."""
     grid_a = {
         "interleave_l2": [0.15, 0.25, 0.35, 0.5],
         "rmw_bandwidth_penalty": [0.40, 0.50, 0.60],
@@ -81,25 +101,61 @@ def main():
         "bw_half_occupancy": [0.08, 0.15, 0.25],
         "scratch_hbm_fraction": [0.25, 0.4, 0.55],
     }
+    if quick:
+        grid_a = {k: v[:1] for k, v in grid_a.items()}
+        grid_m = {k: v[:1] for k, v in grid_m.items()}
+    return grid_a, grid_m
+
+
+def search(grid_a, grid_m, limit=None, progress=print):
+    """Exhaustive sweep; returns (err, a100_params, mi_params, metrics)."""
+    best = None
     keys_a, vals_a = zip(*grid_a.items())
     keys_m, vals_m = zip(*grid_m.items())
     combos_a = list(itertools.product(*vals_a))
     combos_m = list(itertools.product(*vals_m))
-    print(f"{len(combos_a) * len(combos_m)} combos")
+    total = len(combos_a) * len(combos_m)
+    if limit is not None:
+        total = min(total, limit)
+    progress(f"{total} combos")
+    evaluated = 0
     for ca in combos_a:
         a100 = dataclasses.replace(A100, **dict(zip(keys_a, ca)))
         for cm in combos_m:
+            if limit is not None and evaluated >= limit:
+                return best
             mi = dataclasses.replace(MI250X_GCD, **dict(zip(keys_m, cm)))
             err, out = evaluate(a100, mi)
+            evaluated += 1
             if best is None or err < best[0]:
                 best = (err, dict(zip(keys_a, ca)), dict(zip(keys_m, cm)), out)
+    return best
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="one-point grids: smoke-test the sweep plumbing"
+    )
+    parser.add_argument(
+        "--limit", type=int, default=None, help="stop after evaluating this many combos"
+    )
+    args = parser.parse_args(argv)
+    if args.limit is not None and args.limit <= 0:
+        parser.error("--limit must be a positive integer")
+
+    grid_a, grid_m = build_grids(quick=args.quick)
+    best = search(grid_a, grid_m, limit=args.limit)
     err, pa, pm, out = best
     print("best err", err)
     print("A100:", pa)
     print("MI:", pm)
     for k in sorted(out):
         print(f"  {k:24s} {out[k]:.3f}")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())
