@@ -19,8 +19,19 @@ Wall time comes from the observability span tracer rather than an ad-hoc
 span, and the recorded span aggregate plus the solve's own
 ``diagnostics["observability"]`` snapshot land in the JSON artifact.
 
-Artifacts land in ``benchmarks/results/solver_hotpath.{json,csv}``.
-Run standalone for a quick smoke (well under a minute)::
+A second section compares the two ``operator_mode`` settings of the
+Newton--Krylov hot path: ``assembled`` (CSR fill + SpMV matvecs + MGS
+orthogonalization) vs ``matrix-free`` (element-block apply + fused
+batched-CGS orthogonalization).  Both run with the weak Jacobi
+preconditioner so the Krylov depths are representative of the
+bandwidth-bound regime the fusion targets; the modeled HBM bytes per
+GMRES iteration come from the ``gmres.{matvec,stream}.bytes.*``
+counters, and the matrix-free mode must move strictly fewer.
+
+Artifacts land in ``benchmarks/results/solver_hotpath.{json,csv}`` and
+the combined report (including the measured data-movement win) in
+``BENCH_hotpath.json`` at the repo root.  Run standalone for a quick
+smoke (well under a minute)::
 
     PYTHONPATH=src python benchmarks/bench_solver_hotpath.py
 """
@@ -80,6 +91,117 @@ def run_hotpath(config: AntarcticaConfig = SMOKE_CONFIG) -> dict:
     return out
 
 
+def run_operator_modes(config: AntarcticaConfig = SMOKE_CONFIG) -> dict:
+    """Solve with assembled vs matrix-free operators; report modeled bytes.
+
+    The Jacobi preconditioner is deliberately weak: deep Krylov cycles
+    are where the byte model separates the modes (fused
+    orthogonalization streams each basis vector once per iteration
+    instead of ``k`` times, and the element apply skips the CSR
+    value/index streams).
+    """
+    out = {}
+    for mode in ("assembled", "matrix-free"):
+        cfg = replace(
+            config,
+            velocity=replace(
+                config.velocity, operator_mode=mode, preconditioner="jacobi"
+            ),
+        )
+        test = AntarcticaTest.build(cfg)
+        obs.get_metrics().reset()
+        with obs.tracing() as tracer:
+            with tracer.span("bench.solve", variant=mode) as sp:
+                sol = test.run()
+        d = sol.diagnostics
+        counters = d["observability"]["metrics"]["counters"]
+        gmres_iters = sum(sol.newton.linear_iterations)
+        matvec_bytes = counters.get(f"gmres.matvec.bytes.{mode}", 0.0)
+        stream_bytes = counters.get(f"gmres.stream.bytes.{mode}", 0.0)
+        out[mode] = {
+            "wall_seconds": sp.dur_s,
+            "solve_seconds": d["solve_seconds"],
+            "newton_steps": sol.newton.iterations,
+            "gmres_iterations": gmres_iters,
+            "gmres_matvecs": counters.get("gmres.matvecs", 0.0),
+            "gmres_orth": d["gmres_orth"],
+            "matvec_bytes": matvec_bytes,
+            "stream_bytes": stream_bytes,
+            "bytes_per_iteration": (matvec_bytes + stream_bytes) / max(1, gmres_iters),
+            "mean_velocity": sol.mean_velocity,
+        }
+    out["bytes_per_iteration_ratio"] = (
+        out["matrix-free"]["bytes_per_iteration"]
+        / out["assembled"]["bytes_per_iteration"]
+    )
+    return out
+
+
+MODE_HEADERS = [
+    "Mode",
+    "Orth",
+    "Solve [s]",
+    "GMRES its",
+    "Matvecs",
+    "Matvec bytes",
+    "Stream bytes",
+    "Bytes/iter",
+]
+
+
+def _mode_rows(modes: dict) -> list[list]:
+    return [
+        [
+            mode,
+            modes[mode]["gmres_orth"],
+            modes[mode]["solve_seconds"],
+            modes[mode]["gmres_iterations"],
+            modes[mode]["gmres_matvecs"],
+            modes[mode]["matvec_bytes"],
+            modes[mode]["stream_bytes"],
+            modes[mode]["bytes_per_iteration"],
+        ]
+        for mode in ("assembled", "matrix-free")
+    ]
+
+
+def _check_mode_report(modes: dict) -> None:
+    """The acceptance assertions shared by pytest and standalone runs."""
+    a, m = modes["assembled"], modes["matrix-free"]
+    # both modes converge to the same physics (goldens tolerance)
+    assert abs(m["mean_velocity"] - a["mean_velocity"]) <= 1.0e-5 * abs(
+        a["mean_velocity"]
+    )
+    # the headline: the matrix-free hot path moves fewer modeled bytes
+    # per GMRES iteration than the assembled SpMV + MGS path
+    assert m["bytes_per_iteration"] < a["bytes_per_iteration"], (
+        f"matrix-free bytes/iter {m['bytes_per_iteration']:.3e} not below "
+        f"assembled {a['bytes_per_iteration']:.3e}"
+    )
+    assert a["matvec_bytes"] > 0.0 and m["matvec_bytes"] > 0.0
+
+
+def _write_root_artifact(report: dict, modes: dict) -> Path:
+    """``BENCH_hotpath.json`` at the repo root: the CI-consumed summary."""
+    path = Path(__file__).parents[1] / "BENCH_hotpath.json"
+    payload = {
+        "bench": "solver_hotpath",
+        "config": {
+            "resolution_km": SMOKE_CONFIG.resolution_km,
+            "num_layers": SMOKE_CONFIG.num_layers,
+            "operator_mode_preconditioner": "jacobi",
+        },
+        "fused_vs_unfused": {
+            "speedup": report["speedup"],
+            "fused_solve_seconds": report["fused"]["solve_seconds"],
+            "unfused_solve_seconds": report["unfused"]["solve_seconds"],
+        },
+        "operator_modes": modes,
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
 def _rows(report: dict) -> list[list]:
     rows = []
     for variant in ("fused", "unfused"):
@@ -122,8 +244,20 @@ def test_solver_hotpath_report(print_once, results_dir, benchmark):
             f"(speedup {report['speedup']:.2f}x)",
         ),
     )
+    modes = run_operator_modes()
+    print_once(
+        "solver_hotpath_modes",
+        format_table(
+            MODE_HEADERS,
+            _mode_rows(modes),
+            title="Operator modes: assembled vs matrix-free "
+            f"(bytes/iter ratio {modes['bytes_per_iteration_ratio']:.2f}x)",
+        ),
+    )
     write_csv(results_dir / "solver_hotpath.csv", HEADERS, rows)
     (results_dir / "solver_hotpath.json").write_text(json.dumps(report, indent=2) + "\n")
+    _check_mode_report(modes)
+    _write_root_artifact(report, modes)
 
     fused, unfused = report["fused"], report["unfused"]
     # both variants converge to the same physics
@@ -156,9 +290,20 @@ def main() -> int:
             f"(speedup {report['speedup']:.2f}x)",
         )
     )
+    modes = run_operator_modes()
+    print(
+        format_table(
+            MODE_HEADERS,
+            _mode_rows(modes),
+            title="Operator modes: assembled vs matrix-free "
+            f"(bytes/iter ratio {modes['bytes_per_iteration_ratio']:.2f}x)",
+        )
+    )
     write_csv(results_dir / "solver_hotpath.csv", HEADERS, _rows(report))
     (results_dir / "solver_hotpath.json").write_text(json.dumps(report, indent=2) + "\n")
-    print(f"artifacts: {results_dir / 'solver_hotpath.json'}")
+    _check_mode_report(modes)
+    root_artifact = _write_root_artifact(report, modes)
+    print(f"artifacts: {results_dir / 'solver_hotpath.json'}, {root_artifact}")
     return 0
 
 

@@ -34,7 +34,7 @@ oracle registry (kernel variants vs reference, SFad vs finite
 differences and complex step, fused vs separate assembly, SPMD vs
 serial, byte-formula reconciliation), race/determinism checks of every
 kernel body, and a detection selftest on two planted defects.
-``--suite kernels|jacobian|spmd|bytes`` restricts the table;
+``--suite kernels|jacobian|spmd|bytes|matvec`` restricts the table;
 ``--fixture racy|perturbed`` promotes a planted defect to "production"
 so CI can assert the nonzero exit path; ``--check`` makes the exit
 code strict.
@@ -341,7 +341,7 @@ def main(argv=None) -> int:
     )
     ap.add_argument(
         "--suite", default="all",
-        help="verify: oracle suite to run (all|kernels|jacobian|spmd|bytes)",
+        help="verify: oracle suite to run (all|kernels|jacobian|spmd|bytes|matvec)",
     )
     ap.add_argument(
         "--fixture", default="none",

@@ -2,9 +2,21 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
 
 __all__ = ["VelocityConfig", "AntarcticaConfig"]
+
+
+def _default_operator_mode() -> str:
+    """Config default for ``operator_mode``, overridable by environment.
+
+    ``REPRO_OPERATOR_MODE=matrix-free`` flips every default-constructed
+    config (the CI lever that runs the whole tier-1 suite through the
+    matrix-free hot path without editing tests); explicit constructor
+    arguments always win.
+    """
+    return os.environ.get("REPRO_OPERATOR_MODE", "assembled")
 
 
 @dataclass(frozen=True)
@@ -29,6 +41,20 @@ class VelocityConfig:
     #: step (the paper's loop-fusion theme applied host-side); False
     #: falls back to separate residual/jacobian evaluations
     fused_assembly: bool = True
+    #: inner linear operator of the Newton--Krylov solve: "assembled"
+    #: (CSR fill per step, SpMV matvecs) or "matrix-free" (GMRES applies
+    #: the cached SFad element blocks directly -- no CSR fill, no
+    #: value/index streams, MDSC built from element blocks).  Defaults
+    #: from ``REPRO_OPERATOR_MODE`` when set.  SPMD solves (``nparts >
+    #: 1``) always assemble: the row-partitioned distributed operator is
+    #: the communication unit, so the axis applies to serial solves.
+    operator_mode: str = field(default_factory=_default_operator_mode)
+    #: GMRES orthogonalization: "mgs" (modified Gram-Schmidt -- the
+    #: bitwise-pinned reference), "fused" (batched single-pass CGS with
+    #: DGKS safeguard -- streams each Krylov vector once per iteration
+    #: instead of k times), or "auto" (fused in matrix-free mode, mgs
+    #: otherwise, preserving assembled-mode golden trajectories)
+    gmres_orth: str = "auto"
     #: number of SPMD ranks (MALI: one MPI rank per GPU).  With
     #: ``nparts > 1`` the solve runs over a real RCB footprint partition:
     #: rank-restricted assembly, row-partitioned SpMV with ghost refresh,
@@ -45,6 +71,14 @@ class VelocityConfig:
             raise ValueError("workset size and Newton steps must be positive")
         if self.nparts < 1:
             raise ValueError("nparts must be at least 1")
+        if self.operator_mode not in ("assembled", "matrix-free"):
+            raise ValueError(
+                f"unknown operator_mode {self.operator_mode!r}; have: assembled, matrix-free"
+            )
+        if self.gmres_orth not in ("auto", "mgs", "fused"):
+            raise ValueError(
+                f"unknown gmres_orth {self.gmres_orth!r}; have: auto, mgs, fused"
+            )
 
 
 @dataclass(frozen=True)

@@ -23,6 +23,7 @@ from repro.fem.assembly import AssemblyPlan
 from repro.fem.discretization import compute_basis_data, compute_face_basis_data
 from repro.fem.distributed import DistributedMatrix, DistributedStokesAssembly
 from repro.fem.dofmap import DofMap
+from repro.fem.matfree import MatrixFreeJacobian, OperatorModeError
 from repro.fem.sparse import CsrMatrix
 from repro.mesh.extrude import ExtrudedMesh
 from repro.mesh.geometry import IceGeometry
@@ -36,10 +37,18 @@ from repro.resilience.policies import (
     ResilienceLog,
     choose_survivor,
 )
-from repro.solvers.multigrid import ColumnCollapseMdsc, build_mdsc_amg
+from repro.solvers.multigrid import (
+    ColumnCollapseMdsc,
+    MatrixFreeColumnCollapseMdsc,
+    build_mdsc_amg,
+)
 from repro.solvers.newton import NewtonResult, newton_solve
 from repro.solvers.reductions import column_block_reducer
-from repro.solvers.smoothers import JacobiSmoother, VerticalLineSmoother
+from repro.solvers.smoothers import (
+    JacobiSmoother,
+    MatrixFreeVerticalLineSmoother,
+    VerticalLineSmoother,
+)
 
 __all__ = ["StokesVelocityProblem", "VelocitySolution"]
 
@@ -117,6 +126,12 @@ class StokesVelocityProblem:
         # COO->CSR scatter permutation, Dirichlet masks.  Every Newton
         # step is then a pure numeric fill (no re-sort).
         self.plan = AssemblyPlan(self.dofmap, self.bc_dofs)
+
+        # operator-mode axis: matrix-free wraps the SFad element blocks
+        # as the GMRES operator instead of filling CSR.  SPMD solves
+        # always assemble -- the row-partitioned DistributedMatrix is
+        # the halo-exchange unit -- so the axis binds to serial solves.
+        self.matrix_free = cfg.operator_mode == "matrix-free" and cfg.nparts == 1
 
         # SPMD path: real RCB partition of the footprint, rank-restricted
         # assembly and row-partitioned operators with metered halo
@@ -351,8 +366,8 @@ class StokesVelocityProblem:
             local = plane.perturb("sweep.output", local, rank=0, mode="jacobian")
         self.phase_seconds["evaluate"] += sp.dur_s
         self.eval_counts["jacobian"] += 1
-        with tr.span("stokes.scatter", mode="jacobian") as sp:
-            A = self.plan.assemble_matrix(local, diag_scale=self.bc_diag_scale)
+        with tr.span("stokes.scatter", mode="jacobian", operator=self.config.operator_mode) as sp:
+            A = self._wrap_jacobian(local)
         self.phase_seconds["scatter"] += sp.dur_s
         return A
 
@@ -393,11 +408,19 @@ class StokesVelocityProblem:
             )
         self.phase_seconds["evaluate"] += sp.dur_s
         self.eval_counts["jacobian"] += 1
-        with tr.span("stokes.scatter", mode="jacobian_fused") as sp:
+        with tr.span(
+            "stokes.scatter", mode="jacobian_fused", operator=self.config.operator_mode
+        ) as sp:
             f = self._finish_residual(local_r, u)
-            A = self.plan.assemble_matrix(local_j, diag_scale=self.bc_diag_scale)
+            A = self._wrap_jacobian(local_j)
         self.phase_seconds["scatter"] += sp.dur_s
         return f, A
+
+    def _wrap_jacobian(self, local_j: np.ndarray):
+        """Serial Jacobian blocks -> solver operator, per ``operator_mode``."""
+        if self.matrix_free:
+            return self.plan.matrix_free_operator(local_j, diag_scale=self.bc_diag_scale)
+        return self.plan.assemble_matrix(local_j, diag_scale=self.bc_diag_scale)
 
     def _finish_residual(self, local: np.ndarray, u: np.ndarray) -> np.ndarray:
         f = self.plan.assemble_vector(local)
@@ -437,6 +460,35 @@ class StokesVelocityProblem:
             # (bitwise equal to the serial matrix); the gather is metered
             # on the matrix_gather channel
             A = A.gather_global()
+        if isinstance(A, MatrixFreeJacobian):
+            # matrix-free routing: point Jacobi, the line smoother and
+            # the two-level MDSC all have element-block constructions;
+            # the multilevel AMG hierarchy needs Galerkin CSR products
+            # and is assembled-only by design
+            if kind == "jacobi":
+                return JacobiSmoother(A, iters=3)
+            if kind == "vline":
+                return MatrixFreeVerticalLineSmoother(A, self.mesh.levels * 2, iters=2)
+            if kind == "mdsc":
+                return MatrixFreeColumnCollapseMdsc(
+                    A,
+                    num_columns=self.mesh.footprint.num_nodes,
+                    levels=self.mesh.levels,
+                    ndof=2,
+                )
+            raise OperatorModeError(
+                f"preconditioner {kind!r} requires an assembled CSR Jacobian, but this "
+                "solve runs with operator_mode='matrix-free'; choose a preconditioner "
+                "with a matrix-free construction ('mdsc', 'vline', 'jacobi', 'none') or "
+                "set operator_mode='assembled'"
+            )
+        if not isinstance(A, CsrMatrix):
+            raise OperatorModeError(
+                f"cannot build preconditioner {kind!r} from operator type "
+                f"{type(A).__name__}: expected an assembled CsrMatrix (or a "
+                "MatrixFreeJacobian for the matrix-free routings); check the solve's "
+                "operator_mode"
+            )
         if kind == "jacobi":
             return JacobiSmoother(A, iters=3)
         if kind == "vline":
@@ -504,6 +556,13 @@ class StokesVelocityProblem:
         # cumulative ones (regression-tested)
         self.phase_seconds = {"evaluate": 0.0, "scatter": 0.0}
         self.eval_counts = {"residual": 0, "jacobian": 0}
+        # "auto" keeps assembled-mode trajectories on the bitwise-pinned
+        # MGS reference and gives the matrix-free hot path the fused
+        # single-pass orthogonalization it exists for
+        gmres_orth = cfg.gmres_orth
+        if gmres_orth == "auto":
+            gmres_orth = "fused" if self.matrix_free else "mgs"
+
         tr = get_tracer()
         with tr.span(
             "velocity.solve",
@@ -511,6 +570,7 @@ class StokesVelocityProblem:
             num_cells=self.mesh.num_elems,
             nparts=cfg.nparts,
             fused=cfg.fused_assembly,
+            operator_mode=cfg.operator_mode,
         ) as solve_span:
             newton = newton_solve(
                 self.residual,
@@ -521,6 +581,7 @@ class StokesVelocityProblem:
                 linear_tol=cfg.linear_tol,
                 gmres_restart=cfg.gmres_restart,
                 gmres_maxiter=cfg.gmres_maxiter,
+                gmres_orth=gmres_orth,
                 preconditioner_fn=self._preconditioner,
                 callback=callback,
                 residual_jacobian_fn=self.residual_and_jacobian if cfg.fused_assembly else None,
@@ -546,6 +607,8 @@ class StokesVelocityProblem:
             "num_dofs": self.dofmap.num_dofs,
             "num_cells": self.mesh.num_elems,
             "fused_assembly": cfg.fused_assembly,
+            "operator_mode": "matrix-free" if self.matrix_free else "assembled",
+            "gmres_orth": gmres_orth,
             "solve_seconds": solve_seconds,
             "newton_steps_per_s": newton.iterations / solve_seconds if solve_seconds > 0 else 0.0,
             "phase_seconds": phase_seconds,

@@ -103,6 +103,9 @@ class AssemblyPlan:
 
         #: numeric fills performed so far (instrumentation for tests/benches)
         self.num_matrix_fills = 0
+        #: matrix-free operators wrapped so far (the matrix-free mode's
+        #: analogue of ``num_matrix_fills``)
+        self.num_operator_wraps = 0
 
     # ------------------------------------------------------------------
     def assemble_matrix(self, local_jac: np.ndarray, diag_scale: float | None = None) -> CsrMatrix:
@@ -126,6 +129,35 @@ class AssemblyPlan:
             data[self.bc_diag] = diag_scale
         self.num_matrix_fills += 1
         return CsrMatrix((self.num_dofs, self.num_dofs), self.indptr, self.indices, data)
+
+    def matrix_free_operator(self, local_jac: np.ndarray, diag_scale: float | None = None):
+        """Wrap local blocks as a matrix-free operator (no CSR fill).
+
+        The matrix-free counterpart of :meth:`assemble_matrix`: the same
+        ``(nc, k, k)`` SFad blocks, the same Dirichlet row replacement,
+        but the global matrix is never formed -- GMRES consumes the
+        returned :class:`repro.fem.matfree.MatrixFreeJacobian` through
+        its ``matvec``.  The plan's cached connectivity is shared, so
+        wrapping is O(1) in the problem size; every matvec is a pure
+        numeric sweep over the element blocks.
+        """
+        from repro.fem.matfree import MatrixFreeJacobian
+
+        if local_jac.shape != self.block_shape:
+            raise ValueError(
+                f"local Jacobian must have shape {self.block_shape}, got {local_jac.shape}"
+            )
+        if diag_scale is not None and self.bc_dofs is None:
+            raise ValueError("plan was built without Dirichlet dofs")
+        op = MatrixFreeJacobian(
+            self.elem_dofs,
+            local_jac,
+            self.num_dofs,
+            bc_dofs=self.bc_dofs if diag_scale is not None else None,
+            diag_scale=1.0 if diag_scale is None else diag_scale,
+        )
+        self.num_operator_wraps += 1
+        return op
 
     def assemble_vector(self, local_res: np.ndarray) -> np.ndarray:
         """Scatter-add per-element residual blocks into a global dof vector."""

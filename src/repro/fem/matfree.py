@@ -1,0 +1,221 @@
+"""Matrix-free Jacobian operator (element-by-element ``J @ v``).
+
+GMRES never needs the assembled CRS Jacobian -- only its action on a
+vector.  The SFad jacobian-mode sweep already produces the per-element
+dense blocks ``local_jac[c, i, j] = d r_i / d u_j``; assembling them
+into CSR and then streaming values + column indices on every matvec is
+pure data-movement overhead.  :class:`MatrixFreeJacobian` instead keeps
+the element blocks and applies them directly:
+
+    gather   xe = x[elem_dofs]                  (nc, k)
+    apply    ye = local_jac @ xe                (nc, k)  batched GEMV
+    scatter  y  = sum-into-global(ye)           (n,)
+    bc       y[bc_dofs] = diag_scale * x[bc_dofs]
+
+The symbolic phase (connectivity, Dirichlet mask) is cached by the
+owning :class:`repro.fem.assembly.AssemblyPlan`, so each matvec is a
+pure numeric sweep -- no sorting, no structure rebuild, no ``nnz``
+array.  The Dirichlet step reproduces the assembled row-replacement
+(rows cleared, ``diag_scale`` on the diagonal) exactly: cleared rows
+contribute ``diag_scale * x[bc]`` and nothing else.
+
+The operator also exposes what MDSC preconditioning needs without a
+matrix: ``diagonal()`` (point Jacobi), ``column_blocks()`` (the
+vertical-line blocks, extracted per-element instead of from CSR), and
+``collapse()`` (the vertically-collapsed membrane coarse operator).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fem.sparse import CsrMatrix
+
+__all__ = ["MatrixFreeJacobian", "OperatorModeError"]
+
+
+class OperatorModeError(TypeError):
+    """A solver component received an operator it cannot consume.
+
+    Raised with an actionable message naming ``operator_mode`` instead
+    of the opaque ``AttributeError`` a CSR-only code path would hit on
+    a matrix-free operator.
+    """
+
+
+class MatrixFreeJacobian:
+    """Element-block operator with the protocol GMRES and the matrix-free
+    smoothers consume (``shape``, ``matvec``, ``diagonal``).
+
+    Parameters
+    ----------
+    elem_dofs:
+        ``(nc, k)`` global dof ids per element (the plan's cached
+        connectivity).
+    local_jac:
+        ``(nc, k, k)`` dense element Jacobian blocks from the SFad sweep.
+    num_dofs:
+        Global dof count ``n``.
+    bc_dofs / diag_scale:
+        Dirichlet row-replacement: constrained rows act as
+        ``diag_scale * I`` (matching the assembled path's
+        ``AssemblyPlan.assemble_matrix(..., diag_scale=...)``).
+    """
+
+    operator_mode = "matrix-free"
+
+    def __init__(
+        self,
+        elem_dofs: np.ndarray,
+        local_jac: np.ndarray,
+        num_dofs: int,
+        bc_dofs: np.ndarray | None = None,
+        diag_scale: float = 1.0,
+    ):
+        elem_dofs = np.asarray(elem_dofs, dtype=np.int64)
+        local_jac = np.asarray(local_jac, dtype=np.float64)
+        nc, k = elem_dofs.shape
+        if local_jac.shape != (nc, k, k):
+            raise ValueError(
+                f"local Jacobian must have shape {(nc, k, k)}, got {local_jac.shape}"
+            )
+        if diag_scale <= 0.0:
+            raise ValueError("diag_scale must be positive")
+        self.elem_dofs = elem_dofs
+        self.local_jac = local_jac
+        self.n = int(num_dofs)
+        self.shape = (self.n, self.n)
+        self.diag_scale = float(diag_scale)
+        self.bc_dofs = None
+        self._is_bc = None
+        if bc_dofs is not None:
+            bc_dofs = np.asarray(bc_dofs, dtype=np.int64)
+            if bc_dofs.size and (bc_dofs.min() < 0 or bc_dofs.max() >= self.n):
+                raise ValueError("Dirichlet dof out of range")
+            self.bc_dofs = bc_dofs
+            self._is_bc = np.zeros(self.n, dtype=bool)
+            self._is_bc[bc_dofs] = True
+        #: matvecs applied so far (instrumentation for tests/benches)
+        self.num_matvecs = 0
+
+    # ------------------------------------------------------------------
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """``J @ x`` by gather / batched block GEMV / scatter-add."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.n,):
+            raise ValueError(f"expected a vector of length {self.n}")
+        xe = x[self.elem_dofs]  # (nc, k) gather
+        ye = np.matmul(self.local_jac, xe[..., None])[..., 0]  # (nc, k)
+        if self.bc_dofs is not None:
+            # cleared Dirichlet rows must not receive element
+            # contributions; zero them before the scatter so the result
+            # matches the assembled row replacement exactly
+            ye[self._is_bc[self.elem_dofs]] = 0.0
+        y = np.bincount(self.elem_dofs.ravel(), weights=ye.ravel(), minlength=self.n)
+        if self.bc_dofs is not None:
+            y[self.bc_dofs] = self.diag_scale * x[self.bc_dofs]
+        self.num_matvecs += 1
+        return y
+
+    def __matmul__(self, x: np.ndarray) -> np.ndarray:
+        return self.matvec(x)
+
+    def diagonal(self) -> np.ndarray:
+        """Global diagonal (scatter of element block diagonals)."""
+        de = np.einsum("cii->ci", self.local_jac)
+        if self.bc_dofs is not None:
+            de = np.where(self._is_bc[self.elem_dofs], 0.0, de)
+        d = np.bincount(self.elem_dofs.ravel(), weights=de.ravel(), minlength=self.n)
+        if self.bc_dofs is not None:
+            d[self.bc_dofs] = self.diag_scale
+        return d
+
+    def isfinite(self) -> bool:
+        """Finiteness of the stored element blocks (the step-boundary
+        health check :func:`repro.solvers.newton._jacobian_finite` uses)."""
+        return bool(np.all(np.isfinite(self.local_jac)))
+
+    # ------------------------------------------------------------------
+    # what MDSC needs without a CRS matrix
+    # ------------------------------------------------------------------
+    def column_blocks(self, block_size: int) -> np.ndarray:
+        """Dense on-diagonal column blocks ``(nb, blk, blk)``.
+
+        With column-major dof numbering, block ``p`` covers the dof
+        range ``[p*blk, (p+1)*blk)`` (one vertical column); the entries
+        are gathered straight from the element blocks by masking
+        same-column (row, col) pairs -- the matrix-free analogue of the
+        CSR extraction in :class:`~repro.solvers.smoothers.
+        VerticalLineSmoother`, and the block source for its 3D-blocked
+        matrix-free variant.
+        """
+        blk = int(block_size)
+        if self.n % blk != 0:
+            raise ValueError(f"operator size {self.n} not divisible by column block {blk}")
+        nb = self.n // blk
+        ed = self.elem_dofs
+        nc, k = ed.shape
+        rows = np.repeat(ed, k, axis=1)  # (nc, k*k) row dof of each entry
+        cols = np.tile(ed, (1, k))  # (nc, k*k) col dof
+        vals = self.local_jac.reshape(nc, k * k)
+        rb, cb = rows // blk, cols // blk
+        on = rb == cb
+        if self.bc_dofs is not None:
+            on = on & ~self._is_bc[rows]
+        flat = (rb * blk + rows % blk) * blk + cols % blk
+        blocks = np.bincount(
+            flat[on].ravel(), weights=vals[on].ravel(), minlength=nb * blk * blk
+        ).reshape(nb, blk, blk)
+        if self.bc_dofs is not None:
+            bc = self.bc_dofs
+            blocks[bc // blk, bc % blk, bc % blk] = self.diag_scale
+        return blocks
+
+    def collapse(self, agg: np.ndarray, num_coarse: int) -> CsrMatrix:
+        """Galerkin collapse ``P^T J P`` for a piecewise-constant
+        aggregation map, assembled directly from the element blocks.
+
+        Used by the matrix-free column-collapse MDSC: the coarse
+        membrane operator is tiny (one dof per column and component),
+        so assembling *it* is cheap -- only the fine-level matrix is
+        never formed.  Bitwise association differs from the CSR
+        Galerkin product, but the result agrees to rounding.
+        """
+        agg = np.asarray(agg, dtype=np.int64)
+        if agg.shape != (self.n,):
+            raise ValueError("aggregate map must cover every fine dof")
+        ed = self.elem_dofs
+        nc, k = ed.shape
+        rows = np.repeat(ed, k, axis=1).ravel()
+        cols = np.tile(ed, (1, k)).ravel()
+        vals = self.local_jac.ravel()
+        if self.bc_dofs is not None:
+            keep_vals = np.where(self._is_bc[rows], 0.0, vals)
+        else:
+            keep_vals = vals
+        cr, cc = agg[rows], agg[cols]
+        if self.bc_dofs is not None:
+            # each Dirichlet row contributes its diag_scale diagonal
+            bc = self.bc_dofs
+            cr = np.concatenate([cr, agg[bc]])
+            cc = np.concatenate([cc, agg[bc]])
+            keep_vals = np.concatenate(
+                [keep_vals, np.full(len(bc), self.diag_scale)]
+            )
+        return CsrMatrix.from_coo(cr, cc, keep_vals, (num_coarse, num_coarse))
+
+    # ------------------------------------------------------------------
+    @property
+    def bytes_per_matvec(self) -> float:
+        """Modeled HBM traffic of one apply (see gpusim.solver_bytes)."""
+        from repro.gpusim.solver_bytes import element_apply_bytes
+
+        nc, k = self.elem_dofs.shape
+        return element_apply_bytes(self.n, nc, k)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        nc, k = self.elem_dofs.shape
+        return (
+            f"MatrixFreeJacobian(n={self.n}, cells={nc}, k={k}, "
+            f"bc={0 if self.bc_dofs is None else len(self.bc_dofs)})"
+        )

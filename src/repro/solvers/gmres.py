@@ -1,8 +1,32 @@
 """Restarted GMRES with right preconditioning (Saad & Schultz).
 
-Arnoldi with modified Gram-Schmidt and Givens-rotation updates of the
-least-squares problem; right preconditioning keeps the monitored
-residual equal to the true residual of ``A x = b``.
+Arnoldi with Givens-rotation updates of the least-squares problem;
+right preconditioning keeps the monitored residual equal to the true
+residual of ``A x = b``.
+
+Two orthogonalization kernels are available:
+
+* ``orth="mgs"`` (default): classic modified Gram-Schmidt, one dot and
+  one axpy pass per basis column -- the bitwise-stable reference that
+  the golden trajectories pin.
+* ``orth="fused"``: batched classical Gram-Schmidt with a DGKS
+  re-orthogonalization safeguard.  All ``k+1`` projection coefficients
+  come from one fused block-dot pass and are applied in one fused
+  update pass, so each Krylov vector is streamed **twice per
+  iteration** instead of twice per column -- the Chalmers & Warburton
+  "streaming operations" fusion that makes the matrix-free hot path
+  bandwidth-lean.  When the post-projection norm collapses below half
+  the pre-projection norm, one DGKS repeat pass restores the
+  orthogonality that CGS alone would lose.
+
+The solver also *measures* its modeled HBM traffic: every matvec is
+priced via :mod:`repro.gpusim.solver_bytes` (CSR SpMV vs element-block
+apply vs opaque), every orthogonalization pass at the Krylov depth it
+actually ran at, and the totals land both in the returned
+:class:`GmresResult` and in the ``gmres.matvec.bytes.<mode>`` /
+``gmres.stream.bytes.<mode>`` metrics counters.  Preconditioner
+applications are not priced here (they are identical in both operator
+modes and are modeled by their own components).
 """
 
 from __future__ import annotations
@@ -11,6 +35,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.gpusim import solver_bytes as _bytes
 from repro.observability import get_metrics, get_tracer
 from repro.resilience.detectors import classify_gmres
 from repro.verify.sanitizer import sanitizer
@@ -38,6 +63,21 @@ class GmresResult:
     #: | ``breakdown`` -- callers branch on this, never on the length of
     #: ``residual_norms`` (see repro.resilience.detectors.classify_gmres)
     flag: str = "converged"
+    #: operator applications actually performed (initial residual when
+    #: ``x0`` is given, one per inner iteration, one true-residual check
+    #: per cycle).  Never exceeds ``maxiter``: the final cycle's Krylov
+    #: dimension is clamped to leave room for its closing matvec.
+    matvecs: int = 0
+    #: operator-mode label of ``A`` as priced by the byte model
+    #: (``assembled`` | ``matrix-free`` | ``opaque``)
+    operator_mode: str = "opaque"
+    #: modeled HBM bytes moved by the ``matvecs`` operator applications
+    matvec_bytes: float = 0.0
+    #: modeled HBM bytes of the GMRES vector work (orthogonalization,
+    #: basis writes, cycle-closing updates) at the depths actually run
+    stream_bytes: float = 0.0
+    #: DGKS re-orthogonalization passes taken (``orth="fused"`` only)
+    reorthogonalizations: int = 0
 
     @property
     def final_residual(self) -> float:
@@ -47,6 +87,11 @@ class GmresResult:
     def reason(self) -> str:
         """Human-readable description of :attr:`flag`."""
         return _FLAG_REASONS.get(self.flag, self.flag)
+
+    @property
+    def total_bytes(self) -> float:
+        """Modeled matvec + vector-stream traffic of the whole solve."""
+        return self.matvec_bytes + self.stream_bytes
 
 
 def _as_operator(A):
@@ -65,6 +110,8 @@ def gmres(
     M=None,
     dot=None,
     norm=None,
+    orth: str = "mgs",
+    dot_many=None,
 ) -> GmresResult:
     """Solve ``A x = b`` with restarted right-preconditioned GMRES.
 
@@ -79,14 +126,29 @@ def gmres(
     restart:
         Krylov dimension per cycle.
     maxiter:
-        Total iteration (matvec) budget across restarts.
+        Total **matvec** budget across restarts, honored exactly: the
+        last cycle's Krylov dimension is clamped so that its inner
+        matvecs plus the closing true-residual matvec stay within
+        budget (``GmresResult.matvecs <= maxiter`` always).
     dot, norm:
         Inner product and 2-norm implementations (default ``np.dot`` /
         ``np.linalg.norm``).  A distributed run passes partitioned
         reductions here (e.g. :class:`repro.solvers.reductions.
         BlockReducer`) so the Arnoldi recurrence runs on rank-local
         partial sums combined in a decomposition-independent order.
+    orth:
+        ``"mgs"`` (modified Gram-Schmidt, the bitwise reference) or
+        ``"fused"`` (batched one-pass classical Gram-Schmidt with DGKS
+        re-orthogonalization -- streams each Krylov vector once per
+        fused pass instead of once per column).
+    dot_many:
+        Optional batched inner product ``(X, y) -> [x_i . y]`` used by
+        the fused path (e.g. :meth:`repro.solvers.reductions.
+        BlockReducer.dot_many`); defaults to a single BLAS-2 product
+        when ``dot`` is the numpy default.
     """
+    if orth not in ("mgs", "fused"):
+        raise ValueError(f"unknown orthogonalization {orth!r}; have: mgs, fused")
     matvec = _as_operator(A)
     if dot is None:
         dot = np.dot
@@ -97,12 +159,38 @@ def gmres(
     x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64)
     precond = (lambda r: r) if M is None else M.apply
 
+    op_mode, apply_bytes = _bytes.operator_traffic(A)
+    nmv = 0
+    stream_bytes = 0.0
+    reorths = 0
+
+    def _finish(res: GmresResult) -> GmresResult:
+        res.matvecs = nmv
+        res.operator_mode = op_mode
+        res.matvec_bytes = nmv * apply_bytes
+        res.stream_bytes = stream_bytes
+        res.reorthogonalizations = reorths
+        metrics = get_metrics()
+        metrics.counter("gmres.matvecs").inc(nmv)
+        metrics.counter(f"gmres.matvec.bytes.{op_mode}").inc(res.matvec_bytes)
+        metrics.counter(f"gmres.stream.bytes.{op_mode}").inc(stream_bytes)
+        if reorths:
+            metrics.counter("gmres.reorthogonalizations").inc(reorths)
+        return res
+
     bnorm = norm(b)
     if bnorm == 0.0:
-        return GmresResult(np.zeros(n), True, 0, [0.0], flag="converged")
+        return _finish(GmresResult(np.zeros(n), True, 0, [0.0], flag="converged"))
     target = tol * bnorm
 
-    r = b - matvec(x)
+    if x0 is None:
+        # the initial residual at x = 0 is b exactly; spending a matvec
+        # on A @ 0 would bill the budget (and the byte model) for work
+        # with a bitwise-guaranteed answer
+        r = b.copy()
+    else:
+        r = b - matvec(x)
+        nmv += 1
     rnorm = norm(r)
     norms = [float(rnorm)]
     total_it = 0
@@ -112,9 +200,28 @@ def gmres(
     tr = get_tracer()
     it_counter = get_metrics().counter("gmres.iterations")
 
+    batched_dots = None
+    if orth == "fused":
+        if dot_many is not None:
+            batched_dots = dot_many
+        elif dot is np.dot:
+            batched_dots = lambda X, y: X @ y  # noqa: E731 - one fused BLAS-2 pass
+        else:
+            batched_dots = lambda X, y: np.array(  # noqa: E731
+                [dot(y, X[i]) for i in range(X.shape[0])]
+            )
+
     cycle = 0
-    while rnorm > target and total_it < maxiter and not breakdown:
-        m = min(restart, maxiter - total_it)
+    while rnorm > target and not breakdown:
+        # clamp the final cycle: its inner matvecs plus the closing
+        # true-residual matvec must fit the remaining budget.  (The old
+        # accounting clamped inner iterations only, so a final partial
+        # cycle could overrun ``maxiter`` by up to ``restart - 1``
+        # matvecs once the initial and per-cycle closing applications
+        # were counted.)
+        m = min(restart, maxiter - nmv - 1)
+        if m <= 0:
+            break
         rnorm_cycle_start = rnorm
         with tr.span("gmres.cycle", cycle=cycle, krylov_dim=m):
             V = np.zeros((m + 1, n))
@@ -131,22 +238,53 @@ def gmres(
                 with tr.span("gmres.iteration", it=total_it):
                     Z[k] = precond(V[k])
                     w = matvec(Z[k])
+                    nmv += 1
                     if _SAN.active:
                         _SAN.check("gmres.matvec", w, Z[k], site=f"cycle {cycle} k={k}")
-                        _wnorm0 = norm(w)
-                    # modified Gram-Schmidt
-                    for i in range(k + 1):
-                        H[i, k] = dot(w, V[i])
-                        w -= H[i, k] * V[i]
-                    H[k + 1, k] = norm(w)
-                    if _SAN.active:
-                        # the orthogonalized remainder collapsing relative
-                        # to the pre-MGS norm is the classic loss-of-
-                        # orthogonality cancellation
-                        _SAN.check_cancellation(
-                            "gmres.mgs", _wnorm0, _wnorm0, H[k + 1, k],
-                            site=f"cycle {cycle} k={k}",
-                        )
+                    if orth == "mgs":
+                        if _SAN.active:
+                            _wnorm0 = norm(w)
+                        # modified Gram-Schmidt: one dot + one axpy pass
+                        # per column (the k-fold re-stream of the basis)
+                        for i in range(k + 1):
+                            H[i, k] = dot(w, V[i])
+                            w -= H[i, k] * V[i]
+                        H[k + 1, k] = norm(w)
+                        if _SAN.active:
+                            # the orthogonalized remainder collapsing
+                            # relative to the pre-MGS norm is the classic
+                            # loss-of-orthogonality cancellation
+                            _SAN.check_cancellation(
+                                "gmres.mgs", _wnorm0, _wnorm0, H[k + 1, k],
+                                site=f"cycle {cycle} k={k}",
+                            )
+                        stream_bytes += _bytes.mgs_orth_bytes(n, k + 1)
+                    else:
+                        # fused batched CGS: all coefficients from one
+                        # block-dot pass, one fused update pass
+                        wnorm0 = norm(w)
+                        Vk = V[: k + 1]
+                        h = np.asarray(batched_dots(Vk, w), dtype=np.float64)
+                        w = w - h @ Vk
+                        wn = norm(w)
+                        stream_bytes += _bytes.fused_orth_bytes(n, k + 1)
+                        if wn < 0.5 * wnorm0:
+                            # DGKS safeguard: severe cancellation means
+                            # CGS left O(eps * wnorm0) components along
+                            # the basis; one repeat pass removes them
+                            h2 = np.asarray(batched_dots(Vk, w), dtype=np.float64)
+                            w = w - h2 @ Vk
+                            h = h + h2
+                            wn = norm(w)
+                            reorths += 1
+                            stream_bytes += _bytes.fused_reorth_bytes(n, k + 1)
+                        H[: k + 1, k] = h
+                        H[k + 1, k] = wn
+                        if _SAN.active:
+                            _SAN.check_cancellation(
+                                "gmres.mgs", wnorm0, wnorm0, H[k + 1, k],
+                                site=f"cycle {cycle} k={k}",
+                            )
                     if H[k + 1, k] > 1.0e-14 * max(1.0, abs(H[k, k])):
                         V[k + 1] = w / H[k + 1, k]
                     else:
@@ -197,7 +335,9 @@ def gmres(
             x = x + Z[:k_used].T @ y
 
             r = b - matvec(x)
+            nmv += 1
             rnorm = norm(r)
+            stream_bytes += _bytes.cycle_close_bytes(n, k_used)
             if _SAN.active:
                 _SAN.check("gmres.residual_norm", rnorm, site=f"cycle {cycle}")
             norms[-1] = float(rnorm)  # replace estimate with true residual
@@ -207,4 +347,4 @@ def gmres(
 
     converged = bool(rnorm <= target)
     flag = classify_gmres(converged, breakdown, cycle_reductions)
-    return GmresResult(x, converged, total_it, norms, flag=flag)
+    return _finish(GmresResult(x, converged, total_it, norms, flag=flag))

@@ -77,9 +77,17 @@ class NewtonResult:
 def _jacobian_finite(J) -> bool:
     """Cheap finiteness check on a Jacobian's stored values.
 
-    Covers :class:`CsrMatrix` (``data``) and :class:`DistributedMatrix`
-    (``data_parts``); opaque operators (plain callables) are assumed
-    healthy -- their damage surfaces as a non-finite GMRES direction.
+    Covers :class:`CsrMatrix` (``data``), :class:`DistributedMatrix`
+    (``data_parts``) and operators that advertise their own check via
+    ``isfinite()`` (e.g. :class:`repro.fem.matfree.MatrixFreeJacobian`,
+    which scans its element blocks).  A ``matvec``-only operator is
+    probed with a single ones-vector application: non-finite storage
+    anywhere in a row surfaces as a non-finite output entry, because a
+    NaN/Inf coefficient contaminates its row's sum.  Only operators
+    exposing none of the above (not even ``matvec`` + ``shape``) are
+    assumed healthy -- previously *every* non-CSR operator was, so in
+    matrix-free mode Jacobian damage skipped the step-boundary check
+    and the resilience ladder mis-attributed the failure to GMRES.
     """
     data = getattr(J, "data", None)
     if data is not None:
@@ -87,6 +95,13 @@ def _jacobian_finite(J) -> bool:
     parts = getattr(J, "data_parts", None)
     if parts is not None:
         return all(bool(np.all(np.isfinite(d))) for d in parts)
+    own_check = getattr(J, "isfinite", None)
+    if callable(own_check):
+        return bool(own_check())
+    probe_op = getattr(J, "matvec", None)
+    shape = getattr(J, "shape", None)
+    if callable(probe_op) and shape is not None:
+        return bool(np.all(np.isfinite(probe_op(np.ones(shape[1])))))
     return True
 
 
@@ -110,6 +125,7 @@ def newton_solve(
     linear_tol: float = 1.0e-6,
     gmres_restart: int = 50,
     gmres_maxiter: int = 400,
+    gmres_orth: str = "mgs",
     preconditioner_fn=None,
     damping_min: float = 1.0 / 64.0,
     callback=None,
@@ -135,6 +151,9 @@ def newton_solve(
         may be ``None``).
     preconditioner_fn:
         Optional ``J -> M`` building a preconditioner per Newton step.
+    gmres_orth:
+        Orthogonalization kernel passed through to :func:`gmres`
+        (``"mgs"`` reference or ``"fused"`` single-pass batched CGS).
     max_steps:
         Maximum (and, when ``tol`` is not reached, exact) Newton steps --
         the paper's test uses eight.
@@ -167,6 +186,7 @@ def newton_solve(
     norm_fn = np.linalg.norm if reducer is None else reducer.norm
     gmres_dot = None if reducer is None else reducer.dot
     gmres_norm = None if reducer is None else reducer.norm
+    gmres_dot_many = getattr(reducer, "dot_many", None) if reducer is not None else None
     phases = {"evaluate": 0.0, "preconditioner": 0.0, "gmres": 0.0}
     tr = get_tracer()
     metrics = get_metrics()
@@ -311,6 +331,8 @@ def newton_solve(
                             M=M,
                             dot=gmres_dot,
                             norm=gmres_norm,
+                            orth=gmres_orth,
+                            dot_many=gmres_dot_many,
                         )
                     phases["gmres"] += sp.dur_s
                     dx = lin.x

@@ -20,6 +20,10 @@ SMALL = AntarcticaConfig(resolution_km=400.0, num_layers=3)
 
 
 def _problem(**velocity_kwargs):
+    # this file verifies the assembled CSR fill specifically (bitwise
+    # structure equality, num_matrix_fills accounting), so it pins
+    # operator_mode against the REPRO_OPERATOR_MODE environment override
+    velocity_kwargs.setdefault("operator_mode", "assembled")
     cfg = replace(SMALL, velocity=replace(SMALL.velocity, **velocity_kwargs))
     return AntarcticaTest.build(cfg)
 

@@ -25,10 +25,14 @@ NPARTS = 4
 
 
 def _antarctica(nparts):
+    # SPMD solves always assemble (the row-partitioned matrix is the
+    # halo-exchange unit), so the serial side of every bitwise
+    # comparison must share the assembled operator path -- pinned here
+    # against the REPRO_OPERATOR_MODE environment override
     cfg = AntarcticaConfig(
         resolution_km=350.0,
         num_layers=4,
-        velocity=VelocityConfig(nparts=nparts),
+        velocity=VelocityConfig(nparts=nparts, operator_mode="assembled"),
     )
     return AntarcticaTest.build(cfg).problem
 
@@ -137,8 +141,13 @@ class TestSpmdGreenland:
         geo = greenland_geometry()
         fp = masked_quad_footprint(9, 15, geo.lx, geo.ly, geo.mask)
         mesh = extrude_footprint(fp, geo, 5)
-        sol_s = StokesVelocityProblem(mesh, geo, VelocityConfig()).solve()
-        sol_p = StokesVelocityProblem(mesh, geo, VelocityConfig(nparts=4)).solve()
+        # assembled on both sides: the SPMD path has no matrix-free mode
+        sol_s = StokesVelocityProblem(
+            mesh, geo, VelocityConfig(operator_mode="assembled")
+        ).solve()
+        sol_p = StokesVelocityProblem(
+            mesh, geo, VelocityConfig(nparts=4, operator_mode="assembled")
+        ).solve()
         assert np.array_equal(sol_p.u, sol_s.u)
         assert sol_p.newton.residual_norms == sol_s.newton.residual_norms
         assert sol_p.diagnostics["spmd"]["nparts"] == 4

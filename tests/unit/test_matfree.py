@@ -1,0 +1,421 @@
+"""Unit tests for the matrix-free operator path and its satellite fixes.
+
+Covers the :class:`MatrixFreeJacobian` protocol (matvec, diagonal,
+column blocks, Galerkin collapse) against hand-assembled dense
+references and the real assembled Jacobian; the GMRES matvec budget
+and fused-orthogonalization regressions; the Newton finiteness probe
+for opaque operators (with a NaN-poisoned matrix-free operator under a
+:class:`RecoveryPolicy`); and the fail-fast :class:`OperatorModeError`
+for preconditioners that need an assembled matrix.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.app import AntarcticaConfig, AntarcticaTest, VelocityConfig
+from repro.app.velocity_solver import StokesVelocityProblem
+from repro.fem.matfree import MatrixFreeJacobian, OperatorModeError
+from repro.fem.sparse import CsrMatrix
+from repro.resilience import RecoveryPolicy
+from repro.solvers.gmres import gmres
+from repro.solvers.multigrid import ColumnCollapseMdsc, MatrixFreeColumnCollapseMdsc
+from repro.solvers.newton import _jacobian_finite, newton_solve
+from repro.solvers.reductions import BlockReducer
+from repro.solvers.smoothers import MatrixFreeVerticalLineSmoother, VerticalLineSmoother
+
+SMALL = AntarcticaConfig(
+    resolution_km=400.0,
+    num_layers=3,
+    velocity=VelocityConfig(operator_mode="assembled"),
+)
+
+
+@pytest.fixture(scope="module")
+def problem_pair():
+    """Assembled and matrix-free problems on one shared mesh."""
+    t = AntarcticaTest.build(SMALL)
+    mf = StokesVelocityProblem(
+        t.mesh, t.geometry, replace(SMALL.velocity, operator_mode="matrix-free")
+    )
+    return t.problem, mf
+
+
+@pytest.fixture(scope="module")
+def jacobian_pair(problem_pair):
+    pa, pm = problem_pair
+    rng = np.random.default_rng(5)
+    u = rng.normal(size=pa.dofmap.num_dofs) * 10.0
+    u[pa.bc_dofs] = 0.0
+    return pa.jacobian(u), pm.jacobian(u), u
+
+
+def _dense_reference(elem_dofs, local_jac, n, bc=None, diag_scale=1.0):
+    """Scatter element blocks into a dense matrix the slow obvious way."""
+    A = np.zeros((n, n))
+    for c in range(elem_dofs.shape[0]):
+        dofs = elem_dofs[c]
+        for i, gi in enumerate(dofs):
+            for j, gj in enumerate(dofs):
+                A[gi, gj] += local_jac[c, i, j]
+    if bc is not None:
+        A[bc, :] = 0.0
+        A[bc, bc] = diag_scale
+    return A
+
+
+def _tiny_operator(seed=0, with_bc=True, diag_scale=2.5):
+    rng = np.random.default_rng(seed)
+    # two columns of 3 levels sharing a face: overlapping connectivity
+    elem_dofs = np.array([[0, 1, 2, 3], [2, 3, 4, 5], [4, 5, 6, 7]])
+    local_jac = rng.normal(size=(3, 4, 4))
+    bc = np.array([0, 5]) if with_bc else None
+    op = MatrixFreeJacobian(elem_dofs, local_jac, 8, bc_dofs=bc, diag_scale=diag_scale)
+    ref = _dense_reference(elem_dofs, local_jac, 8, bc, diag_scale)
+    return op, ref
+
+
+class TestMatrixFreeJacobian:
+    def test_matvec_matches_dense_reference(self):
+        op, ref = _tiny_operator()
+        rng = np.random.default_rng(1)
+        for _ in range(4):
+            v = rng.normal(size=8)
+            assert np.allclose(op.matvec(v), ref @ v, rtol=1e-14, atol=1e-14)
+
+    def test_matvec_without_bc(self):
+        op, ref = _tiny_operator(with_bc=False)
+        v = np.arange(8.0)
+        assert np.allclose(op @ v, ref @ v, rtol=1e-14, atol=1e-14)
+
+    def test_diagonal_matches_dense(self):
+        op, ref = _tiny_operator()
+        assert np.allclose(op.diagonal(), np.diag(ref), rtol=1e-14, atol=1e-14)
+
+    def test_column_blocks_match_dense(self):
+        op, ref = _tiny_operator()
+        blocks = op.column_blocks(4)
+        for p in range(2):
+            sl = slice(4 * p, 4 * (p + 1))
+            assert np.allclose(blocks[p], ref[sl, sl], rtol=1e-14, atol=1e-14)
+
+    def test_collapse_matches_dense_galerkin(self):
+        op, ref = _tiny_operator()
+        agg = np.array([0, 1, 0, 1, 0, 1, 0, 1])  # collapse to 2 coarse dofs
+        P = np.zeros((8, 2))
+        P[np.arange(8), agg] = 1.0
+        Ac = op.collapse(agg, 2)
+        assert np.allclose(Ac.toarray(), P.T @ ref @ P, rtol=1e-13, atol=1e-13)
+
+    def test_matvec_counter_and_shape(self):
+        op, _ = _tiny_operator()
+        assert op.shape == (8, 8)
+        assert op.num_matvecs == 0
+        op.matvec(np.zeros(8))
+        op @ np.zeros(8)
+        assert op.num_matvecs == 2
+
+    def test_isfinite_flags_poisoned_blocks(self):
+        op, _ = _tiny_operator()
+        assert op.isfinite()
+        op.local_jac[1, 2, 3] = np.nan
+        assert not op.isfinite()
+
+    def test_bytes_per_matvec_positive(self):
+        op, _ = _tiny_operator()
+        assert op.bytes_per_matvec > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="shape"):
+            MatrixFreeJacobian(np.zeros((2, 3), dtype=int), np.zeros((2, 3, 2)), 6)
+        with pytest.raises(ValueError, match="diag_scale"):
+            MatrixFreeJacobian(
+                np.zeros((1, 2), dtype=int), np.zeros((1, 2, 2)), 2,
+                bc_dofs=np.array([0]), diag_scale=0.0,
+            )
+        op, _ = _tiny_operator()
+        with pytest.raises(ValueError, match="length"):
+            op.matvec(np.zeros(7))
+
+
+class TestAgainstAssembled:
+    """The real problem's matrix-free Jacobian equals its assembled CSR."""
+
+    def test_matvec_matches_assembled(self, jacobian_pair):
+        A, B, u = jacobian_pair
+        assert isinstance(A, CsrMatrix)
+        assert isinstance(B, MatrixFreeJacobian)
+        rng = np.random.default_rng(11)
+        for _ in range(3):
+            v = rng.normal(size=len(u))
+            ya = A.matvec(v)
+            scale = np.max(np.abs(ya))
+            assert np.allclose(B.matvec(v), ya, rtol=1e-12, atol=1e-12 * scale)
+
+    def test_diagonal_matches_assembled(self, jacobian_pair):
+        A, B, _ = jacobian_pair
+        da = A.diagonal()
+        scale = np.max(np.abs(da))
+        assert np.allclose(B.diagonal(), da, rtol=1e-12, atol=1e-12 * scale)
+
+    def test_plan_wrap_counter(self, problem_pair):
+        _, pm = problem_pair
+        before = pm.plan.num_operator_wraps
+        u = np.zeros(pm.dofmap.num_dofs)
+        pm.jacobian(u)
+        assert pm.plan.num_operator_wraps == before + 1
+        assert pm.plan.num_matrix_fills == 0  # matrix-free mode never fills CSR
+
+
+class TestMatrixFreeSmoothers:
+    def test_vertical_line_matches_assembled(self, problem_pair, jacobian_pair):
+        pa, _ = problem_pair
+        A, B, _ = jacobian_pair
+        blk = pa.mesh.levels * 2
+        ref = VerticalLineSmoother(A, blk, iters=2)
+        alt = MatrixFreeVerticalLineSmoother(B, blk, iters=2)
+        rng = np.random.default_rng(21)
+        r = rng.normal(size=A.shape[0])
+        xa, xm = ref.apply(r), alt.apply(r)
+        scale = np.max(np.abs(xa))
+        assert np.allclose(xm, xa, rtol=1e-12, atol=1e-12 * scale)
+
+    def test_tiled_solve_bitwise_equals_batched(self, jacobian_pair):
+        _, B, _ = jacobian_pair
+        blk = 6  # 3 levels * 2 dofs
+        full = MatrixFreeVerticalLineSmoother(B, blk, iters=2)
+        tiled = MatrixFreeVerticalLineSmoother(B, blk, iters=2, tile=7)
+        r = np.sin(np.arange(B.n, dtype=np.float64))
+        assert np.array_equal(tiled.apply(r), full.apply(r))
+
+    def test_requires_column_blocks(self):
+        with pytest.raises(OperatorModeError, match="column_blocks"):
+            MatrixFreeVerticalLineSmoother(CsrMatrix.identity(4), 2)
+
+    def test_mdsc_matches_assembled(self, problem_pair, jacobian_pair):
+        pa, _ = problem_pair
+        A, B, _ = jacobian_pair
+        kw = dict(
+            num_columns=pa.mesh.footprint.num_nodes,
+            levels=pa.mesh.levels,
+            smoother_iters=2,
+        )
+        ref = ColumnCollapseMdsc(A, **kw)
+        alt = MatrixFreeColumnCollapseMdsc(B, **kw)
+        rng = np.random.default_rng(23)
+        r = rng.normal(size=A.shape[0])
+        xa, xm = ref.apply(r), alt.apply(r)
+        scale = np.max(np.abs(xa))
+        assert np.allclose(xm, xa, rtol=1e-9, atol=1e-9 * scale)
+
+    def test_mdsc_requires_collapse(self):
+        with pytest.raises(OperatorModeError, match="collapse"):
+            MatrixFreeColumnCollapseMdsc(CsrMatrix.identity(8), num_columns=2, levels=2)
+
+
+class _CountingOperator:
+    """Opaque matvec+shape operator wrapping a dense matrix."""
+
+    def __init__(self, M, poison=False):
+        self.M = np.asarray(M, dtype=np.float64)
+        self.shape = self.M.shape
+        self.count = 0
+        self.poison = poison
+
+    def matvec(self, x):
+        self.count += 1
+        y = self.M @ x
+        if self.poison:
+            y[0] = np.nan
+        return y
+
+
+def _spd(n, seed=3):
+    rng = np.random.default_rng(seed)
+    Q = rng.normal(size=(n, n))
+    return Q @ Q.T + n * np.eye(n)
+
+
+class TestGmresMatvecBudget:
+    """Regression: ``maxiter`` is a hard matvec budget across restarts.
+
+    Previously each restart cycle ran its full Krylov depth and then
+    spent an extra closing true-residual matvec, so a solve with
+    ``maxiter=15, restart=10`` could perform 22 operator applications --
+    in matrix-free mode each one a full element sweep.
+    """
+
+    def test_budget_honored_exactly(self):
+        # hard problem (tol=0 never converges): every cycle runs full
+        op = _CountingOperator(_spd(40))
+        b = np.arange(1.0, 41.0)
+        res = gmres(op, b, tol=0.0, restart=10, maxiter=15)
+        assert res.matvecs == op.count  # accounting matches reality
+        assert op.count <= 15
+        assert res.flag == "maxiter"
+
+    def test_no_initial_matvec_without_x0(self):
+        op = _CountingOperator(_spd(12))
+        b = np.ones(12)
+        res = gmres(op, b, tol=1e-12, restart=12, maxiter=50)
+        # r0 = b when x0 is None: no operator application needed
+        assert res.converged
+        assert res.matvecs == op.count
+
+    def test_initial_matvec_counted_with_x0(self):
+        op = _CountingOperator(_spd(12))
+        b = np.ones(12)
+        res = gmres(op, b, x0=np.full(12, 0.1), tol=1e-12, restart=12, maxiter=50)
+        assert res.converged
+        assert res.matvecs == op.count
+        assert res.matvecs >= 2  # initial residual + at least one inner
+
+    @pytest.mark.parametrize("maxiter", [1, 2, 3, 7])
+    def test_tiny_budgets_never_overrun(self, maxiter):
+        op = _CountingOperator(_spd(30, seed=9))
+        b = np.linspace(1.0, 2.0, 30)
+        res = gmres(op, b, tol=0.0, restart=5, maxiter=maxiter)
+        assert op.count <= maxiter
+        assert res.matvecs == op.count
+
+
+class TestFusedOrthogonalization:
+    def test_fused_matches_mgs_solution(self):
+        M = _spd(60, seed=4)
+        b = np.sin(np.arange(60.0))
+        ref = gmres(_CountingOperator(M), b, tol=1e-10, restart=60, maxiter=200, orth="mgs")
+        alt = gmres(_CountingOperator(M), b, tol=1e-10, restart=60, maxiter=200, orth="fused")
+        assert ref.converged and alt.converged
+        scale = np.max(np.abs(ref.x))
+        assert np.allclose(alt.x, ref.x, rtol=1e-8, atol=1e-8 * scale)
+
+    def test_unknown_orth_rejected(self):
+        with pytest.raises(ValueError, match="orth"):
+            gmres(_CountingOperator(_spd(4)), np.ones(4), orth="cgs2")
+
+    def test_dot_many_bitwise_equals_dot(self):
+        n = 64
+        reducer = BlockReducer(np.array([0, 20, 45, n]))
+        rng = np.random.default_rng(8)
+        X = rng.normal(size=(5, n))
+        y = rng.normal(size=n)
+        batched = reducer.dot_many(X, y)
+        rows = np.array([reducer.dot(x, y) for x in X])
+        assert np.array_equal(batched, rows)
+
+    def test_byte_accounting_fields_present(self):
+        op = _CountingOperator(_spd(20))
+        res = gmres(op, np.ones(20), tol=1e-10, restart=20, maxiter=60)
+        assert res.operator_mode == "opaque"
+        assert res.matvec_bytes == 0.0  # opaque operators are unpriced
+        assert res.stream_bytes > 0.0
+        assert res.total_bytes == res.stream_bytes
+
+
+class TestJacobianFiniteProbe:
+    """Regression: ``_jacobian_finite`` returned True for any operator
+    without ``.data`` -- NaN-poisoned matrix-free Jacobians sailed
+    through the step-boundary health check."""
+
+    def test_csr_paths(self):
+        A = CsrMatrix.identity(3)
+        assert _jacobian_finite(A)
+        A.data[1] = np.inf
+        assert not _jacobian_finite(A)
+
+    def test_matrix_free_own_check(self):
+        op, _ = _tiny_operator()
+        assert _jacobian_finite(op)
+        op.local_jac[0, 0, 0] = np.nan
+        assert not _jacobian_finite(op)
+
+    def test_opaque_operator_probed_via_matvec(self):
+        assert _jacobian_finite(_CountingOperator(np.eye(4)))
+        assert not _jacobian_finite(_CountingOperator(np.eye(4), poison=True))
+        M = np.eye(4)
+        M[2, 2] = np.nan
+        assert not _jacobian_finite(_CountingOperator(M))
+
+    def test_unprobeable_object_assumed_healthy(self):
+        assert _jacobian_finite(object())
+
+    def test_newton_rejects_poisoned_matrix_free_without_policy(self):
+        op, ref = _tiny_operator(with_bc=False)
+        op.local_jac[0, 0, 0] = np.nan
+        xstar = np.arange(1.0, 9.0)
+        with pytest.raises(FloatingPointError, match="evaluate"):
+            newton_solve(
+                residual_fn=lambda x: ref @ (x - xstar),
+                jacobian_fn=lambda x: op,
+                x0=np.zeros(8),
+                max_steps=4,
+            )
+
+    def test_newton_recovers_poisoned_matrix_free_with_policy(self):
+        """A transiently poisoned matrix-free Jacobian (one bad sweep)
+        is re-evaluated under the policy and the solve completes."""
+        elem = np.array([[i, (i + 1) % 8] for i in range(8)])
+        rng = np.random.default_rng(31)
+        # each dof sits in two elements, so +5 I per block => +10 on the
+        # assembled diagonal: comfortably invertible
+        blocks = rng.normal(size=(8, 2, 2)) + 5.0 * np.eye(2)
+        ref = _dense_reference(elem, blocks, 8)  # the exact Jacobian
+        xstar = np.linspace(1.0, 2.0, 8)
+        calls = {"jac": 0}
+
+        def jacobian_fn(x):
+            calls["jac"] += 1
+            op = MatrixFreeJacobian(elem, blocks.copy(), 8)
+            if calls["jac"] == 1:  # the first sweep comes back poisoned
+                op.local_jac[3, 1, 0] = np.nan
+            return op
+
+        policy = RecoveryPolicy()
+        res = newton_solve(
+            residual_fn=lambda x: ref @ (x - xstar),
+            jacobian_fn=jacobian_fn,
+            x0=np.zeros(8),
+            max_steps=6,
+            tol=1e-10,
+            resilience=policy,
+        )
+        assert res.converged
+        assert np.allclose(res.x, xstar, rtol=1e-8)
+        assert policy.log.count("detection", "nonfinite_evaluation") >= 1
+        assert policy.log.count("recovery", "reevaluation") >= 1
+        assert calls["jac"] >= 2  # the poisoned sweep was re-run
+
+
+class TestOperatorModeRouting:
+    """Regression: CSR-only preconditioners previously died with an
+    opaque ``AttributeError`` deep inside block extraction when handed a
+    matrix-free operator."""
+
+    def _mf_problem(self, precond):
+        cfg = replace(
+            SMALL,
+            velocity=replace(
+                SMALL.velocity, operator_mode="matrix-free", preconditioner=precond
+            ),
+        )
+        return AntarcticaTest.build(cfg).problem
+
+    def test_unsupported_preconditioner_fails_fast(self):
+        p = self._mf_problem("mdsc-amg")
+        with pytest.raises(OperatorModeError) as exc:
+            p.solve()
+        msg = str(exc.value)
+        assert "mdsc-amg" in msg
+        assert "operator_mode" in msg
+
+    @pytest.mark.parametrize("precond", ["jacobi", "vline", "none"])
+    def test_supported_preconditioners_solve(self, precond):
+        sol = self._mf_problem(precond).solve()
+        assert sol.diagnostics["operator_mode"] == "matrix-free"
+        assert np.all(np.isfinite(sol.u))
+
+    def test_auto_orth_resolution(self, problem_pair):
+        pa, pm = problem_pair
+        assert pa.solve().diagnostics["gmres_orth"] == "mgs"
+        assert pm.solve().diagnostics["gmres_orth"] == "fused"

@@ -238,7 +238,7 @@ class TestOracles:
     def test_registry_covers_all_suites(self):
         from repro.verify.oracles import ORACLES, suite_names
 
-        assert set(suite_names()) == {"kernels", "jacobian", "spmd", "bytes"}
+        assert set(suite_names()) == {"kernels", "jacobian", "spmd", "bytes", "matvec"}
         names = [o.name for o in ORACLES]
         assert len(names) == len(set(names)), "oracle names must be unique"
         # every kernel variant has a race oracle
@@ -246,6 +246,20 @@ class TestOracles:
 
         for key in variant_names():
             assert f"race-{key}" in names
+
+    def test_matvec_suite_passes(self):
+        """The operator-mode differential oracles (matrix-free vs
+        assembled J@v, fused vs reference orthogonalization, byte
+        reconciliation, planted-defect detection) all hold."""
+        from repro.verify.oracles import run_oracles
+
+        results = run_oracles(["matvec"])
+        failed = [r.describe() for r in results if not r.passed]
+        assert not failed, failed
+        names = {r.name for r in results}
+        assert "matrix-free-vs-assembled-jv-antarctica" in names
+        assert "matrix-free-vs-assembled-jv-greenland" in names
+        assert "matvec-detects-perturbed-operator" in names
 
     def test_all_kernel_oracles_pass(self):
         from repro.verify.oracles import run_oracles
