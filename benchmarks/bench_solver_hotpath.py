@@ -30,7 +30,10 @@ counters, and the matrix-free mode must move strictly fewer.
 
 Artifacts land in ``benchmarks/results/solver_hotpath.{json,csv}`` and
 the combined report (including the measured data-movement win) in
-``BENCH_hotpath.json`` at the repo root.  Run standalone for a quick
+``BENCH_hotpath.json`` at the repo root, plus the normalized
+perf-trajectory ``BENCH_solver.json`` that ``tools/check_bench.py``
+diffs against the committed baseline in CI (deterministic counters are
+hard-gated, wall seconds are advisory).  Run standalone for a quick
 smoke (well under a minute)::
 
     PYTHONPATH=src python benchmarks/bench_solver_hotpath.py
@@ -181,6 +184,69 @@ def _check_mode_report(modes: dict) -> None:
     assert a["matvec_bytes"] > 0.0 and m["matvec_bytes"] > 0.0
 
 
+#: schema of the normalized CI perf-trajectory artifact; bump when the
+#: layout changes so tools/check_bench.py refuses to diff across schemas
+BENCH_SOLVER_SCHEMA = 1
+
+
+def solver_trajectory(report: dict, modes: dict) -> dict:
+    """The normalized ``BENCH_solver.json`` payload.
+
+    Two signal classes, with the gate contract encoded in the layout
+    (see DESIGN.md section 14): everything under ``"deterministic"`` is
+    a reproducible counter (iterations, modeled bytes, sweep counts --
+    lower is better) that ``tools/check_bench.py`` hard-fails on;
+    everything under ``"advisory"`` is wall-clock (machine-dependent)
+    and only ever warns.
+    """
+    det = {
+        "newton": {},
+        "gmres": {},
+    }
+    for variant in ("fused", "unfused"):
+        r = report[variant]
+        det["newton"][variant] = {
+            "newton_steps": r["newton_steps"],
+            "eval_sweeps_residual": r["eval_sweeps"]["residual"],
+            "eval_sweeps_jacobian": r["eval_sweeps"]["jacobian"],
+        }
+    for mode in ("assembled", "matrix-free"):
+        m = modes[mode]
+        det["gmres"][mode] = {
+            "gmres_iterations": m["gmres_iterations"],
+            "gmres_matvecs": m["gmres_matvecs"],
+            "matvec_bytes": m["matvec_bytes"],
+            "stream_bytes": m["stream_bytes"],
+            "bytes_per_iteration": m["bytes_per_iteration"],
+        }
+    det["bytes_per_iteration_ratio"] = modes["bytes_per_iteration_ratio"]
+    advisory = {
+        "fused_solve_seconds": report["fused"]["solve_seconds"],
+        "unfused_solve_seconds": report["unfused"]["solve_seconds"],
+        "assembled_solve_seconds": modes["assembled"]["solve_seconds"],
+        "matrix_free_solve_seconds": modes["matrix-free"]["solve_seconds"],
+        "fused_speedup": report["speedup"],
+    }
+    return {
+        "bench": "solver_hotpath",
+        "schema_version": BENCH_SOLVER_SCHEMA,
+        "config": {
+            "resolution_km": SMOKE_CONFIG.resolution_km,
+            "num_layers": SMOKE_CONFIG.num_layers,
+            "operator_mode_preconditioner": "jacobi",
+        },
+        "deterministic": det,
+        "advisory": advisory,
+    }
+
+
+def _write_solver_trajectory(report: dict, modes: dict, out: Path | None = None) -> Path:
+    """``BENCH_solver.json`` at the repo root: the perf-gate trajectory."""
+    path = out if out is not None else Path(__file__).parents[1] / "BENCH_solver.json"
+    path.write_text(json.dumps(solver_trajectory(report, modes), indent=2) + "\n")
+    return path
+
+
 def _write_root_artifact(report: dict, modes: dict) -> Path:
     """``BENCH_hotpath.json`` at the repo root: the CI-consumed summary."""
     path = Path(__file__).parents[1] / "BENCH_hotpath.json"
@@ -258,6 +324,7 @@ def test_solver_hotpath_report(print_once, results_dir, benchmark):
     (results_dir / "solver_hotpath.json").write_text(json.dumps(report, indent=2) + "\n")
     _check_mode_report(modes)
     _write_root_artifact(report, modes)
+    _write_solver_trajectory(report, modes)
 
     fused, unfused = report["fused"], report["unfused"]
     # both variants converge to the same physics
@@ -303,7 +370,11 @@ def main() -> int:
     (results_dir / "solver_hotpath.json").write_text(json.dumps(report, indent=2) + "\n")
     _check_mode_report(modes)
     root_artifact = _write_root_artifact(report, modes)
-    print(f"artifacts: {results_dir / 'solver_hotpath.json'}, {root_artifact}")
+    trajectory = _write_solver_trajectory(report, modes)
+    print(
+        f"artifacts: {results_dir / 'solver_hotpath.json'}, "
+        f"{root_artifact}, {trajectory}"
+    )
     return 0
 
 

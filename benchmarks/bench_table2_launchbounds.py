@@ -46,6 +46,17 @@ def _sweep(sim, mode, problem):
             continue
         p = sim.run(f"optimized-{mode}", problem, launch_bounds=eff)
         profiles[str(lb)] = p
+    if "default" not in profiles:
+        # the default config itself was unlaunchable on this spec: there
+        # is no baseline to normalize speedups against, so say which
+        # machine model is at fault instead of KeyError-ing below
+        pytest.skip(
+            f"default launch bounds for {mode!r} "
+            f"({default_launch_bounds(mode).max_threads} threads) are "
+            f"unlaunchable on {sim.spec.name} "
+            f"(max_threads_per_cu={sim.spec.max_threads_per_cu}); "
+            f"skipped configs: {skipped}"
+        )
     base_t = profiles["default"].time_s
     for lb in TABLE2_LAUNCH_CONFIGS:
         key = str(lb)
@@ -95,6 +106,28 @@ def test_table2_report(sim_mi250x, problem, print_once, results_dir, benchmark):
     write_csv(results_dir / "table2_launchbounds.csv", headers, all_rows)
 
     benchmark(sim_mi250x.run, "optimized-jacobian", problem)
+
+
+def test_sweep_names_spec_when_default_unlaunchable():
+    """A spec too small for the *default* bounds skips with a reason.
+
+    Regression test: ``_sweep`` used to index ``profiles["default"]``
+    unconditionally after the skip loop, so a machine model whose
+    ``max_threads_per_cu`` cannot launch the default config (1024
+    threads for the residual) died with a bare ``KeyError`` instead of
+    reporting which spec was unlaunchable.
+    """
+    from dataclasses import replace
+
+    from repro.gpusim.simulator import GPUSimulator, ProblemSize
+    from repro.gpusim.specs import MI250X_GCD
+
+    spec = replace(MI250X_GCD, name="MI250X-LOWTPB", max_threads_per_cu=512)
+    sim = GPUSimulator(spec)
+    with pytest.raises(pytest.skip.Exception) as excinfo:
+        _sweep(sim, "residual", ProblemSize(num_cells=4096))
+    msg = str(excinfo.value)
+    assert "MI250X-LOWTPB" in msg and "unlaunchable" in msg
 
 
 def test_table2_agprs_only_with_generous_budget(sim_mi250x, problem, benchmark):

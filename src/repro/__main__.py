@@ -13,6 +13,7 @@ Regenerates the paper's tables/figures without the pytest harness:
     python -m repro profile     # traced coarse solve -> Chrome trace JSON
     python -m repro chaos       # coarse solve under a fault schedule
     python -m repro verify      # race checks + differential oracle table
+    python -m repro tune        # warm the autotuner cache for a mesh
     python -m repro all
 
 ``profile`` runs the coarse Antarctica solve under the observability
@@ -28,6 +29,16 @@ detection / recovery event plus the recovered-vs-clean solution error.
 With ``--check`` it exits nonzero unless every scheduled fault fired
 and the recovered solution sits within ``10 x newton_tol`` of the
 fault-free one (the CI gate).
+
+``tune`` runs the online autotuner for a coarse Antarctica (or
+``--mesh greenland``) mesh and persists the winning configuration --
+kernel variant, LaunchBounds, preconditioner, operator mode, GMRES
+orthogonalization and restart -- to the versioned JSON cache (location:
+``REPRO_TUNE_CACHE`` or ``~/.cache/repro/tuned_configs.json``).  Any
+later solve built with ``VelocityConfig(tuned="auto")`` on the same
+(mesh, GPU) pair reuses it with zero trials.  ``--gpu`` picks the
+modeled architecture, ``--budget`` bounds the measured trials,
+``--force`` retunes through an existing cache entry.
 
 ``verify`` runs the correctness-tooling subsystem: the differential
 oracle registry (kernel variants vs reference, SFad vs finite
@@ -308,13 +319,99 @@ def chaos(
     return 0 if (ok or not check) else 1
 
 
+def tune(
+    mesh: str = "antarctica",
+    resolution_km: float = 350.0,
+    layers: int = 4,
+    budget: int = 5,
+    seed: int = 0,
+    gpu: str | None = None,
+    cache_path: str | None = None,
+    force: bool = False,
+) -> int:
+    """Warm the autotuner cache for one (mesh, GPU) pair."""
+    from repro.app.config import VelocityConfig
+    from repro.app.velocity_solver import StokesVelocityProblem
+    from repro.gpusim.specs import ALL_GPUS, default_tuning_spec
+    from repro.mesh.extrude import extrude_footprint
+    from repro.mesh.planar import masked_quad_footprint
+    from repro.tune import AutoTuner, TuneCache, cache_key
+
+    spec = ALL_GPUS[gpu] if gpu else default_tuning_spec()
+    vcfg = VelocityConfig()
+    if mesh == "antarctica":
+        from repro.app import AntarcticaConfig, AntarcticaTest
+
+        acfg = AntarcticaConfig(resolution_km=resolution_km, num_layers=layers)
+        test = AntarcticaTest.build(acfg)
+        geometry, emesh, mesh_key = test.geometry, test.mesh, acfg.key
+    elif mesh == "greenland":
+        from repro.mesh.geometry import greenland_geometry
+
+        geometry = greenland_geometry()
+        res_m = resolution_km * 1.0e3
+        nx = max(4, int(round(geometry.lx / res_m)))
+        ny = max(4, int(round(geometry.ly / res_m)))
+        fp = masked_quad_footprint(nx, ny, geometry.lx, geometry.ly, geometry.mask)
+        emesh = extrude_footprint(fp, geometry, layers)
+        mesh_key = f"greenland_res{resolution_km:g}km_nz{layers}_{vcfg.kernel_impl}"
+    else:
+        raise SystemExit(f"unknown mesh {mesh!r}; have: antarctica, greenland")
+
+    cache = TuneCache(cache_path)
+    key = cache_key(mesh_key, spec.name)
+    existing = cache.get(key)
+    if existing is not None and not force:
+        print(f"cache hit for {key} (cost {existing.cost_bytes:.3e} bytes, "
+              f"{existing.trials} trials recorded); use --force to retune")
+        print(f"tuned config: {existing.candidate.describe()}")
+        print(f"cache: {cache.path}")
+        return 0
+
+    tuner = AutoTuner(
+        lambda c: StokesVelocityProblem(emesh, geometry, c),
+        vcfg,
+        mesh_key,
+        spec=spec,
+        cache=cache,
+        budget=budget,
+        seed=seed,
+    )
+    report = tuner.tune()
+    rows = []
+    for t in report.trials:
+        marker = "*" if t.candidate == report.record.candidate else ("" if t.valid else "x")
+        rows.append([
+            marker,
+            t.candidate.describe(),
+            t.gmres_iterations,
+            f"{t.kernel_bytes / 1e9:.3f}",
+            f"{t.solver_bytes / 1e9:.3f}",
+            f"{t.cost_bytes / 1e9:.3f}",
+            f"{t.cost_bytes / report.trials[0].cost_bytes:.2f}x",
+            f"{t.wall_seconds:.2f}",
+        ])
+    print(format_table(
+        ["", "candidate", "gmres its", "kernel GB", "solver GB", "cost GB", "vs default", "wall [s]"],
+        rows,
+        title=f"autotuner trials: {mesh_key} on {spec.name} "
+        f"({report.num_candidates} candidates, {len(report.trials)} measured)",
+    ))
+    rec = report.record
+    print(f"winner: {rec.candidate.describe()}")
+    print(f"deterministic cost: {rec.cost_bytes:.3e} bytes "
+          f"({rec.cost_bytes / rec.default_cost_bytes:.2f}x the hand-picked default)")
+    print(f"persisted to {cache.path} under key {key!r}")
+    return 0
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
     ap.add_argument(
         "artifact",
         choices=[
             "table2", "table3", "table4", "fig3", "fig5",
-            "solve", "profile", "chaos", "verify", "all",
+            "solve", "profile", "chaos", "verify", "tune", "all",
         ],
     )
     ap.add_argument("--out", default="trace.json", help="profile: Chrome trace output path")
@@ -347,6 +444,22 @@ def main(argv=None) -> int:
         "--fixture", default="none",
         help="verify: treat a planted defect as production (none|racy|perturbed)",
     )
+    ap.add_argument(
+        "--mesh", default="antarctica",
+        help="tune: mesh family to tune for (antarctica|greenland)",
+    )
+    ap.add_argument("--budget", type=int, default=5, help="tune: measured-trial budget")
+    ap.add_argument(
+        "--gpu", default=None,
+        help="tune: modeled architecture (A100|MI250X-GCD; default REPRO_TUNE_GPU or MI250X-GCD)",
+    )
+    ap.add_argument(
+        "--cache", default=None,
+        help="tune: cache file (default REPRO_TUNE_CACHE or ~/.cache/repro/tuned_configs.json)",
+    )
+    ap.add_argument(
+        "--force", action="store_true", help="tune: retune through an existing cache entry"
+    )
     args = ap.parse_args(argv)
     if args.artifact == "verify":
         from repro.verify.cli import verify as run_verify
@@ -361,6 +474,17 @@ def main(argv=None) -> int:
             nparts=args.nparts if args.nparts is not None else 1,
         )
         return 0
+    if args.artifact == "tune":
+        return tune(
+            mesh=args.mesh,
+            resolution_km=args.resolution_km if args.resolution_km is not None else 350.0,
+            layers=args.layers if args.layers is not None else 4,
+            budget=args.budget,
+            seed=args.seed,
+            gpu=args.gpu,
+            cache_path=args.cache,
+            force=args.force,
+        )
     if args.artifact == "chaos":
         return chaos(
             schedule=args.schedule,

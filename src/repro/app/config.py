@@ -61,6 +61,14 @@ class VelocityConfig:
     #: partitioned dot products, and measured halo traffic in the
     #: diagnostics -- bit-for-bit identical to the serial solve.
     nparts: int = 1
+    #: "off" (use this config verbatim) or "auto" (consult the persisted
+    #: autotuner cache for this mesh + GPU and, on a miss, run a bounded
+    #: online search seeded by the gpusim byte model -- see
+    #: :mod:`repro.tune`).  The tuned axes are ``kernel_impl``,
+    #: ``preconditioner``, ``operator_mode``, ``gmres_orth`` and
+    #: ``gmres_restart``; everything else (tolerances, Newton budget,
+    #: ``nparts``) is preserved from this config.
+    tuned: str = "off"
 
     def __post_init__(self):
         if self.kernel_impl not in ("baseline", "optimized"):
@@ -79,6 +87,8 @@ class VelocityConfig:
             raise ValueError(
                 f"unknown gmres_orth {self.gmres_orth!r}; have: auto, mgs, fused"
             )
+        if self.tuned not in ("off", "auto"):
+            raise ValueError(f"unknown tuned mode {self.tuned!r}; have: off, auto")
 
 
 @dataclass(frozen=True)
@@ -95,7 +105,12 @@ class AntarcticaConfig:
 
     resolution_km: float = 64.0
     num_layers: int = 20
-    velocity: VelocityConfig = VelocityConfig()
+    #: default_factory, not a shared instance: ``VelocityConfig()`` as a
+    #: class-level default would be evaluated once at import time, which
+    #: freezes environment-derived defaults (``REPRO_OPERATOR_MODE``) as
+    #: read when this module loaded -- ``monkeypatch.setenv`` and any
+    #: in-process environment change would be silently ignored
+    velocity: VelocityConfig = field(default_factory=VelocityConfig)
     #: "quad" (structured footprint -> hexahedra, the paper's test) or
     #: "voronoi" (MPAS-style Voronoi dual triangulation -> prisms,
     #: MALI's production meshing path)

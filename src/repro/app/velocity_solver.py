@@ -609,6 +609,11 @@ class StokesVelocityProblem:
             "fused_assembly": cfg.fused_assembly,
             "operator_mode": "matrix-free" if self.matrix_free else "assembled",
             "gmres_orth": gmres_orth,
+            # autotuner provenance: "off" is a hand-picked config; "auto"
+            # means the axes above came from the tune cache / online search
+            "tuned": cfg.tuned,
+            "preconditioner": cfg.preconditioner,
+            "gmres_restart": cfg.gmres_restart,
             "solve_seconds": solve_seconds,
             "newton_steps_per_s": newton.iterations / solve_seconds if solve_seconds > 0 else 0.0,
             "phase_seconds": phase_seconds,

@@ -1,0 +1,140 @@
+"""Unit tests for the perf-trajectory gate (tools/check_bench.py)."""
+
+import copy
+import importlib.util
+import json
+from pathlib import Path
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_bench", Path(__file__).parents[2] / "tools" / "check_bench.py"
+)
+check_bench = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(check_bench)
+
+
+BASELINE = {
+    "bench": "solver_hotpath",
+    "schema_version": 1,
+    "deterministic": {
+        "gmres": {
+            "assembled": {"gmres_iterations": 500, "matvec_bytes": 2.0e9},
+            "matrix-free": {"gmres_iterations": 500, "matvec_bytes": 1.4e9},
+        },
+        "newton": {"fused": {"eval_sweeps_residual": 13}},
+        "bytes_per_iteration_ratio": 0.9,
+    },
+    "advisory": {"fused_solve_seconds": 0.5, "fused_speedup": 1.4},
+}
+
+
+class TestCompare:
+    def test_identical_documents_pass(self):
+        errors, warnings = check_bench.compare(BASELINE, copy.deepcopy(BASELINE))
+        assert errors == [] and warnings == []
+
+    def test_improvement_passes(self):
+        better = copy.deepcopy(BASELINE)
+        better["deterministic"]["gmres"]["assembled"]["gmres_iterations"] = 300
+        errors, _ = check_bench.compare(BASELINE, better)
+        assert errors == []
+
+    def test_deterministic_regression_fails(self):
+        worse = copy.deepcopy(BASELINE)
+        worse["deterministic"]["gmres"]["assembled"]["gmres_iterations"] = 560  # +12%
+        errors, _ = check_bench.compare(BASELINE, worse)
+        assert len(errors) == 1
+        assert "gmres_iterations" in errors[0]
+        assert "+12.0%" in errors[0]
+
+    def test_growth_within_rtol_passes(self):
+        slight = copy.deepcopy(BASELINE)
+        slight["deterministic"]["gmres"]["assembled"]["gmres_iterations"] = 515  # +3%
+        errors, _ = check_bench.compare(BASELINE, slight)
+        assert errors == []
+
+    def test_missing_deterministic_leaf_fails(self):
+        dropped = copy.deepcopy(BASELINE)
+        del dropped["deterministic"]["gmres"]["matrix-free"]
+        errors, _ = check_bench.compare(BASELINE, dropped)
+        assert any("missing from candidate" in e for e in errors)
+
+    def test_new_deterministic_leaf_only_warns(self):
+        extended = copy.deepcopy(BASELINE)
+        extended["deterministic"]["gmres"]["assembled"]["stream_bytes"] = 1.0e9
+        errors, warnings = check_bench.compare(BASELINE, extended)
+        assert errors == []
+        assert any("new signal" in w for w in warnings)
+
+    def test_wall_drift_warns_but_passes(self):
+        slow = copy.deepcopy(BASELINE)
+        slow["advisory"]["fused_solve_seconds"] = 0.7  # +40%
+        errors, warnings = check_bench.compare(BASELINE, slow)
+        assert errors == []
+        assert any("wall drift" in w for w in warnings)
+
+    def test_schema_version_mismatch_is_explicit_error(self):
+        v2 = copy.deepcopy(BASELINE)
+        v2["schema_version"] = 2
+        errors, _ = check_bench.compare(BASELINE, v2)
+        assert len(errors) == 1
+        assert "schema_version" in errors[0]
+
+    def test_missing_deterministic_section_fails(self):
+        errors, _ = check_bench.compare(BASELINE, {"schema_version": 1})
+        assert any("deterministic" in e for e in errors)
+
+    def test_zero_baseline_growth_is_infinite(self):
+        base = copy.deepcopy(BASELINE)
+        base["deterministic"]["newton"]["fused"]["eval_sweeps_residual"] = 0
+        cand = copy.deepcopy(BASELINE)
+        errors, _ = check_bench.compare(base, cand)
+        assert any("eval_sweeps_residual" in e for e in errors)
+
+
+class TestNumericLeaves:
+    def test_flatten_sorted_and_numeric_only(self):
+        leaves = check_bench._numeric_leaves(
+            {"b": {"y": 2, "label": "text", "flag": True}, "a": 1.5}
+        )
+        assert leaves == {"a": 1.5, "b.y": 2.0}
+
+    def test_non_finite_ignored(self):
+        assert check_bench._numeric_leaves({"x": float("nan")}) == {}
+
+
+class TestCli:
+    def _write(self, tmp_path, name, doc):
+        p = tmp_path / name
+        p.write_text(json.dumps(doc))
+        return str(p)
+
+    def test_pass_exit_zero(self, tmp_path, capsys):
+        b = self._write(tmp_path, "base.json", BASELINE)
+        assert check_bench.main([b, b]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_regression_exit_one(self, tmp_path, capsys):
+        worse = copy.deepcopy(BASELINE)
+        worse["deterministic"]["bytes_per_iteration_ratio"] = 1.2
+        b = self._write(tmp_path, "base.json", BASELINE)
+        c = self._write(tmp_path, "cand.json", worse)
+        assert check_bench.main([b, c]) == 1
+        assert "FAIL" in capsys.readouterr().err
+
+    def test_unreadable_input_exit_two(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        good = self._write(tmp_path, "base.json", BASELINE)
+        assert check_bench.main([good, str(bad)]) == 2
+
+    def test_rtol_flag_widens_gate(self, tmp_path):
+        worse = copy.deepcopy(BASELINE)
+        worse["deterministic"]["gmres"]["assembled"]["gmres_iterations"] = 560  # +12%
+        b = self._write(tmp_path, "base.json", BASELINE)
+        c = self._write(tmp_path, "cand.json", worse)
+        assert check_bench.main([b, c]) == 1
+        assert check_bench.main(["--rtol", "0.2", b, c]) == 0
+
+    def test_selftest_passes(self, capsys):
+        assert check_bench.main(["--selftest"]) == 0
+        assert "selftest OK" in capsys.readouterr().out

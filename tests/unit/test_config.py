@@ -1,0 +1,54 @@
+"""Config-layer regression tests.
+
+The load-bearing one: ``AntarcticaConfig.velocity`` must build a fresh
+``VelocityConfig`` per instance (``default_factory``), not share one
+instance evaluated at import time.  The class-level-default variant
+froze ``REPRO_OPERATOR_MODE`` as read when ``repro.app.config`` was
+first imported, so ``monkeypatch.setenv`` in tests -- and any other
+in-process environment change -- was silently ignored.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.app.config import AntarcticaConfig, VelocityConfig
+
+
+class TestEnvDefaultsAfterImport:
+    def test_operator_mode_env_set_after_import_is_honored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OPERATOR_MODE", "matrix-free")
+        assert AntarcticaConfig().velocity.operator_mode == "matrix-free"
+        assert VelocityConfig().operator_mode == "matrix-free"
+
+    def test_operator_mode_env_unset_after_import_is_honored(self, monkeypatch):
+        monkeypatch.delenv("REPRO_OPERATOR_MODE", raising=False)
+        assert AntarcticaConfig().velocity.operator_mode == "assembled"
+
+    def test_velocity_default_is_not_a_shared_instance(self, monkeypatch):
+        monkeypatch.delenv("REPRO_OPERATOR_MODE", raising=False)
+        a = AntarcticaConfig()
+        monkeypatch.setenv("REPRO_OPERATOR_MODE", "matrix-free")
+        b = AntarcticaConfig()
+        # a was constructed under the old environment and keeps it; b
+        # sees the new one -- impossible with one import-time instance
+        assert a.velocity.operator_mode == "assembled"
+        assert b.velocity.operator_mode == "matrix-free"
+
+    def test_explicit_constructor_argument_still_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OPERATOR_MODE", "matrix-free")
+        cfg = AntarcticaConfig(velocity=VelocityConfig(operator_mode="assembled"))
+        assert cfg.velocity.operator_mode == "assembled"
+
+
+class TestTunedAxis:
+    def test_default_is_off(self):
+        assert VelocityConfig().tuned == "off"
+
+    def test_auto_accepted_and_replace_preserves_it(self):
+        cfg = VelocityConfig(tuned="auto")
+        assert dataclasses.replace(cfg, gmres_restart=77).tuned == "auto"
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="tuned"):
+            VelocityConfig(tuned="always")

@@ -1,0 +1,257 @@
+#!/usr/bin/env python
+"""Perf-trajectory gate: diff ``BENCH_solver.json`` against a baseline.
+
+Stdlib-only (CI runs it right after the bench step):
+
+.. code-block:: bash
+
+    PYTHONPATH=src python benchmarks/bench_solver_hotpath.py
+    python tools/check_bench.py BENCH_solver.baseline.json BENCH_solver.json
+
+The gate contract mirrors the artifact layout (DESIGN.md section 14):
+
+- every numeric leaf under ``"deterministic"`` is a reproducible,
+  lower-is-better signal (GMRES iterations, matvec counts, modeled HBM
+  bytes, evaluator sweep counts).  A value that grows beyond
+  ``--rtol`` (default 5%) over the baseline is a **hard failure** --
+  these numbers do not depend on the machine, so a regression is a real
+  algorithmic change, not noise;
+- every numeric leaf under ``"advisory"`` is wall-clock or derived from
+  it.  Drift beyond ``--wall-drift`` (default 25%) prints a **warning**
+  but never fails the gate -- CI runners are too noisy to hard-gate
+  seconds;
+- a ``schema_version`` mismatch between baseline and candidate is an
+  explicit error (re-commit the baseline after changing the layout, do
+  not let the diff silently skip fields).
+
+Missing-from-candidate deterministic leaves fail (a signal silently
+disappearing is how regressions hide); new leaves only in the candidate
+are reported but pass (the next baseline commit picks them up).
+
+``--selftest`` runs the built-in negative control: a synthetic baseline
+against (a) an identical copy (must pass), (b) a copy with one
+deterministic counter inflated 10% (must fail), and (c) a copy with
+wall seconds inflated 30% (must pass with a warning).  The CI job runs
+this before the real diff so a broken gate cannot quietly wave
+regressions through.
+"""
+
+from __future__ import annotations
+
+import argparse
+import copy
+import json
+import math
+import sys
+
+#: growth tolerance for deterministic lower-is-better signals.  Small but
+#: nonzero: modeled bytes scale with iteration counts that can shift by
+#: one restart cycle on legitimate rounding-level changes.
+DEFAULT_RTOL = 0.05
+
+#: advisory wall-clock drift that triggers a warning
+DEFAULT_WALL_DRIFT = 0.25
+
+
+def _numeric_leaves(node, prefix: str = "") -> dict[str, float]:
+    """Flatten nested dicts to {dotted.path: float}; ignore non-numbers."""
+    out: dict[str, float] = {}
+    if isinstance(node, dict):
+        for key in sorted(node):
+            path = f"{prefix}.{key}" if prefix else str(key)
+            out.update(_numeric_leaves(node[key], path))
+    elif isinstance(node, bool):
+        pass
+    elif isinstance(node, (int, float)) and math.isfinite(node):
+        out[prefix] = float(node)
+    return out
+
+
+def _rel_growth(base: float, cand: float) -> float:
+    """Relative growth of a lower-is-better signal (0 when cand <= base)."""
+    if cand <= base:
+        return 0.0
+    if base == 0.0:
+        return math.inf
+    return (cand - base) / abs(base)
+
+
+def compare(
+    baseline: dict,
+    candidate: dict,
+    rtol: float = DEFAULT_RTOL,
+    wall_drift: float = DEFAULT_WALL_DRIFT,
+) -> tuple[list[str], list[str]]:
+    """Diff two trajectory documents.
+
+    Returns ``(errors, warnings)``: any error fails the gate, warnings
+    are printed but pass.
+    """
+    errors: list[str] = []
+    warnings: list[str] = []
+
+    for doc, label in ((baseline, "baseline"), (candidate, "candidate")):
+        if not isinstance(doc.get("deterministic"), dict):
+            errors.append(f'{label} has no "deterministic" section')
+    if errors:
+        return errors, warnings
+
+    bv = baseline.get("schema_version")
+    cv = candidate.get("schema_version")
+    if bv != cv:
+        errors.append(
+            f"schema_version mismatch: baseline {bv!r} vs candidate {cv!r} "
+            "(re-commit the baseline after changing the artifact layout)"
+        )
+        return errors, warnings
+
+    base_det = _numeric_leaves(baseline["deterministic"])
+    cand_det = _numeric_leaves(candidate["deterministic"])
+    for path, base in base_det.items():
+        if path not in cand_det:
+            errors.append(f"deterministic.{path}: present in baseline, missing from candidate")
+            continue
+        cand = cand_det[path]
+        growth = _rel_growth(base, cand)
+        if growth > rtol:
+            errors.append(
+                f"deterministic.{path}: {base:g} -> {cand:g} "
+                f"(+{growth:.1%}, tolerance {rtol:.0%})"
+            )
+    for path in sorted(set(cand_det) - set(base_det)):
+        warnings.append(
+            f"deterministic.{path}: new signal (={cand_det[path]:g}), "
+            "not in baseline; commit a fresh baseline to start gating it"
+        )
+
+    base_adv = _numeric_leaves(baseline.get("advisory", {}))
+    cand_adv = _numeric_leaves(candidate.get("advisory", {}))
+    for path, base in base_adv.items():
+        if path not in cand_adv:
+            warnings.append(f"advisory.{path}: missing from candidate")
+            continue
+        cand = cand_adv[path]
+        if base > 0.0 and abs(cand - base) / base > wall_drift:
+            warnings.append(
+                f"advisory.{path}: {base:.3g} -> {cand:.3g} "
+                f"({(cand - base) / base:+.0%} wall drift, advisory only)"
+            )
+    return errors, warnings
+
+
+def _load(path: str) -> dict:
+    with open(path) as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict):
+        raise ValueError(f"{path}: top level is not a JSON object")
+    return doc
+
+
+# ----------------------------------------------------------------------
+# negative control
+
+_SELFTEST_BASELINE = {
+    "bench": "solver_hotpath",
+    "schema_version": 1,
+    "deterministic": {
+        "gmres": {
+            "assembled": {"gmres_iterations": 400, "matvec_bytes": 2.0e9},
+            "matrix-free": {"gmres_iterations": 400, "matvec_bytes": 1.2e9},
+        },
+        "newton": {"fused": {"eval_sweeps_residual": 17}},
+    },
+    "advisory": {"fused_solve_seconds": 1.0},
+}
+
+
+def selftest(rtol: float, wall_drift: float) -> int:
+    """Prove the gate fires on a planted regression and only then."""
+    clean = copy.deepcopy(_SELFTEST_BASELINE)
+    errors, warnings = compare(_SELFTEST_BASELINE, clean, rtol, wall_drift)
+    if errors or warnings:
+        print(f"selftest: identical copy did not pass clean: {errors + warnings}", file=sys.stderr)
+        return 1
+
+    planted = copy.deepcopy(_SELFTEST_BASELINE)
+    planted["deterministic"]["gmres"]["assembled"]["gmres_iterations"] = 440  # +10%
+    errors, _ = compare(_SELFTEST_BASELINE, planted, rtol, wall_drift)
+    if not errors:
+        print("selftest: planted +10% deterministic regression NOT caught", file=sys.stderr)
+        return 1
+    if not any("gmres_iterations" in e for e in errors):
+        print(f"selftest: wrong signal blamed: {errors}", file=sys.stderr)
+        return 1
+
+    slow = copy.deepcopy(_SELFTEST_BASELINE)
+    slow["advisory"]["fused_solve_seconds"] = 1.3  # +30% wall
+    errors, warnings = compare(_SELFTEST_BASELINE, slow, rtol, wall_drift)
+    if errors:
+        print(f"selftest: wall drift hard-failed (must only warn): {errors}", file=sys.stderr)
+        return 1
+    if not warnings:
+        print("selftest: +30% wall drift produced no warning", file=sys.stderr)
+        return 1
+
+    stale = copy.deepcopy(_SELFTEST_BASELINE)
+    stale["schema_version"] = 2
+    errors, _ = compare(_SELFTEST_BASELINE, stale, rtol, wall_drift)
+    if not any("schema_version" in e for e in errors):
+        print("selftest: schema_version mismatch not rejected", file=sys.stderr)
+        return 1
+
+    print("check_bench: selftest OK (planted regression caught, wall drift warns)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="check_bench.py",
+        description="diff a BENCH_solver.json perf trajectory against a baseline",
+    )
+    parser.add_argument("baseline", nargs="?", help="committed baseline JSON")
+    parser.add_argument("candidate", nargs="?", help="freshly generated JSON")
+    parser.add_argument(
+        "--rtol",
+        type=float,
+        default=DEFAULT_RTOL,
+        help="max relative growth of any deterministic signal (default 0.05)",
+    )
+    parser.add_argument(
+        "--wall-drift",
+        type=float,
+        default=DEFAULT_WALL_DRIFT,
+        help="advisory wall-clock drift that triggers a warning (default 0.25)",
+    )
+    parser.add_argument(
+        "--selftest",
+        action="store_true",
+        help="run the built-in negative control instead of diffing files",
+    )
+    args = parser.parse_args(argv)
+
+    if args.selftest:
+        return selftest(args.rtol, args.wall_drift)
+    if not args.baseline or not args.candidate:
+        parser.error("baseline and candidate are required unless --selftest")
+
+    try:
+        baseline = _load(args.baseline)
+        candidate = _load(args.candidate)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"check_bench: cannot load input: {exc}", file=sys.stderr)
+        return 2
+
+    errors, warnings = compare(baseline, candidate, args.rtol, args.wall_drift)
+    for w in warnings:
+        print(f"check_bench: WARNING: {w}")
+    if errors:
+        for e in errors:
+            print(f"check_bench: FAIL: {e}", file=sys.stderr)
+        return 1
+    n = len(_numeric_leaves(baseline["deterministic"]))
+    print(f"check_bench: OK ({n} deterministic signals within {args.rtol:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
