@@ -88,6 +88,17 @@ def run_hotpath(config: AntarcticaConfig = SMOKE_CONFIG) -> dict:
             "span_totals": {
                 name: agg["total_s"] for name, agg in tracer.aggregate().items()
             },
+            # full per-span aggregate (count + inclusive + self seconds):
+            # the trajectory artifact's "spans" section, which perfdiff
+            # consumes when the CI perf-gate trips
+            "span_aggregate": {
+                name: {
+                    "count": agg["count"],
+                    "total_s": agg["total_s"],
+                    "self_s": agg["self_s"],
+                }
+                for name, agg in tracer.aggregate().items()
+            },
             "observability": d["observability"],
         }
     out["speedup"] = out["unfused"]["solve_seconds"] / out["fused"]["solve_seconds"]
@@ -186,7 +197,8 @@ def _check_mode_report(modes: dict) -> None:
 
 #: schema of the normalized CI perf-trajectory artifact; bump when the
 #: layout changes so tools/check_bench.py refuses to diff across schemas
-BENCH_SOLVER_SCHEMA = 1
+#: (2: added the "spans" per-span time aggregate for perfdiff)
+BENCH_SOLVER_SCHEMA = 2
 
 
 def solver_trajectory(report: dict, modes: dict) -> dict:
@@ -197,7 +209,10 @@ def solver_trajectory(report: dict, modes: dict) -> dict:
     a reproducible counter (iterations, modeled bytes, sweep counts --
     lower is better) that ``tools/check_bench.py`` hard-fails on;
     everything under ``"advisory"`` is wall-clock (machine-dependent)
-    and only ever warns.
+    and only ever warns.  The ``"spans"`` section (schema 2) carries the
+    fused variant's per-span time aggregate -- ignored by the gate's
+    leaf diff, but ``python -m repro perfdiff`` reads it to attribute a
+    tripped gate to specific solver phases.
     """
     det = {
         "newton": {},
@@ -237,6 +252,7 @@ def solver_trajectory(report: dict, modes: dict) -> dict:
         },
         "deterministic": det,
         "advisory": advisory,
+        "spans": report["fused"]["span_aggregate"],
     }
 
 

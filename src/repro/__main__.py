@@ -11,6 +11,7 @@ Regenerates the paper's tables/figures without the pytest harness:
     python -m repro fig5        # time-oriented portability plane
     python -m repro solve       # the Antarctica velocity solve (coarse)
     python -m repro profile     # traced coarse solve -> Chrome trace JSON
+    python -m repro perfdiff A B  # diff two perf snapshots/traces
     python -m repro chaos       # coarse solve under a fault schedule
     python -m repro verify      # race checks + differential oracle table
     python -m repro tune        # warm the autotuner cache for a mesh
@@ -18,8 +19,22 @@ Regenerates the paper's tables/figures without the pytest harness:
 
 ``profile`` runs the coarse Antarctica solve under the observability
 span tracer and writes a Chrome trace-event file (open it at
-https://ui.perfetto.dev) plus per-span and metrics summaries; see
-``python -m repro profile --help`` for the knobs.
+https://ui.perfetto.dev) plus per-span, roofline-attribution and
+metrics summaries.  Spans carrying modeled bytes/flops are annotated
+with arithmetic intensity and %-of-roof against ``--gpu`` (default:
+the autotuner's GPU).  With ``--nparts N > 1`` the per-rank halo and
+compute spans are stitched into a clock-aligned multi-process trace
+(rank = Chrome pid, driver timeline on pid N) and a per-Newton-step
+halo-wait vs compute critical-path table is printed.  ``--snapshot``
+writes the perfdiff-ready aggregate, ``--openmetrics`` the OpenMetrics
+text exposition, ``--series-jsonl`` the convergence series log, and
+``--plant-slow name:seconds`` plants a deliberate regression (the
+perfdiff negative control).  See ``python -m repro profile --help``.
+
+``perfdiff baseline current`` diffs two perf documents (profile
+``--snapshot`` files, Chrome traces, or BENCH_solver.json) and ranks
+spans by their contribution to the regression -- the tool the CI
+perf-gate runs when ``tools/check_bench.py`` trips.
 
 ``chaos`` runs the coarse Antarctica SPMD solve twice -- fault-free,
 then with a named fault schedule armed on the process fault plane
@@ -208,34 +223,115 @@ def profile(
     resolution_km: float = 300.0,
     layers: int = 5,
     nparts: int = 1,
+    gpu: str | None = None,
+    snapshot_out: str | None = None,
+    openmetrics_out: str | None = None,
+    series_jsonl: str | None = None,
+    plant_slow: str | None = None,
 ) -> None:
     """Traced coarse Antarctica solve -> Chrome trace + text summaries."""
     import dataclasses
+    import json
 
     from repro import observability as obs
     from repro.app import AntarcticaConfig, AntarcticaTest
     from repro.app.config import VelocityConfig
+    from repro.gpusim.specs import ALL_GPUS, default_tuning_spec
 
+    spec = ALL_GPUS[gpu] if gpu else default_tuning_spec()
     cfg = AntarcticaConfig(
         resolution_km=resolution_km,
         num_layers=layers,
         velocity=dataclasses.replace(VelocityConfig(), nparts=nparts),
     )
     obs.get_metrics().reset()
-    with obs.tracing() as tracer:
-        with tracer.span("antarctica.build", resolution_km=resolution_km, layers=layers):
-            test = AntarcticaTest.build(cfg)
-        sol = test.run()
+    obs.get_series().reset()
+    tr = obs.get_tracer()
+    if plant_slow:
+        # negative control for the perfdiff pipeline: slow one span by a
+        # known amount and check the diff ranks it first
+        name, _, secs = plant_slow.partition(":")
+        tr.plant_slowdown(name, float(secs or 0.0))
+    try:
+        with obs.tracing() as tracer:
+            with tracer.span("antarctica.build", resolution_km=resolution_km, layers=layers):
+                test = AntarcticaTest.build(cfg)
+            sol = test.run()
+    finally:
+        tr.clear_slowdowns()
     spans = tracer.spans
+    annotated = obs.annotate_roofline(spans, spec)
+    mismatches = obs.reconcile_rocprof_bytes(spans)
+    series = obs.get_series()
     snapshot = obs.get_metrics().snapshot()
-    path = obs.write_chrome_trace(out, spans, metrics=snapshot)
+    aggregate = tracer.aggregate()
+
+    counter_pid = 0
+    process_labels = None
+    export_spans = spans
+    stitched = None
+    if nparts > 1:
+        # per-rank streams -> one clock-aligned trace: rank p on Chrome
+        # pid p, driver timeline (Newton/GMRES) on pid nparts
+        streams, driver = obs.split_rank_streams(spans, nparts)
+        obs.align_clocks(streams)
+        stitched = obs.stitch_spans(streams, driver, nparts)
+        export_spans = stitched
+        process_labels = obs.stitch_process_labels(nparts)
+        counter_pid = obs.DRIVER_PID(nparts)
+    path = obs.write_chrome_trace(
+        out,
+        export_spans,
+        metrics=snapshot,
+        process_labels=process_labels,
+        series=series,
+        counter_pid=counter_pid,
+    )
     if jsonl:
-        obs.write_jsonl(jsonl, spans)
-        print(f"span log:     {jsonl} ({len(spans)} spans)")
-    print(f"chrome trace: {path} ({len(spans)} spans) -- open at https://ui.perfetto.dev")
+        obs.write_jsonl(jsonl, export_spans)
+        print(f"span log:     {jsonl} ({len(export_spans)} spans)")
+    if series_jsonl:
+        obs.write_series_jsonl(series_jsonl, series)
+        npts = sum(len(s.points) for s in series.all())
+        print(f"series log:   {series_jsonl} ({npts} points)")
+    if openmetrics_out:
+        obs.write_openmetrics(openmetrics_out, snapshot, series)
+        print(f"openmetrics:  {openmetrics_out}")
+    if snapshot_out:
+        doc = {
+            "kind": obs.perfdiff.SNAPSHOT_KIND,
+            "schema_version": obs.perfdiff.SNAPSHOT_SCHEMA,
+            "label": f"profile res={resolution_km:g}km nz={layers} nparts={nparts}",
+            "spans": {
+                name: {
+                    "count": a["count"],
+                    "total_s": a["total_s"],
+                    "self_s": a["self_s"],
+                    "cat": a["cat"],
+                }
+                for name, a in aggregate.items()
+            },
+            "counters": dict(snapshot.get("counters", {})),
+        }
+        with open(snapshot_out, "w") as f:
+            json.dump(doc, f, indent=1, sort_keys=True)
+            f.write("\n")
+        print(f"perf snapshot: {snapshot_out} ({len(doc['spans'])} span aggregates)")
+    print(f"chrome trace: {path} ({len(export_spans)} spans) -- open at https://ui.perfetto.dev")
     print(f"mean |u| = {sol.mean_velocity:.6f} m/yr over {sol.diagnostics['num_cells']} cells")
+    if mismatches:
+        print(f"WARNING: {len(mismatches)} span(s) fail rocprof byte reconciliation:")
+        for m in mismatches:
+            print(f"  {m}")
     print()
     print(obs.summary_table(spans, wall_s=sol.diagnostics["solve_seconds"]))
+    print()
+    print(obs.roofline_table(spans, spec))
+    if stitched is not None:
+        records = obs.halo_compute_split(stitched)
+        if records:
+            print()
+            print(obs.critical_path_table(records))
     print()
     print(obs.ascii_flame(spans))
     print()
@@ -411,11 +507,44 @@ def main(argv=None) -> int:
         "artifact",
         choices=[
             "table2", "table3", "table4", "fig3", "fig5",
-            "solve", "profile", "chaos", "verify", "tune", "all",
+            "solve", "profile", "perfdiff", "chaos", "verify", "tune", "all",
         ],
+    )
+    ap.add_argument(
+        "paths", nargs="*",
+        help="perfdiff: BASELINE and CURRENT perf documents "
+        "(profile --snapshot files, Chrome traces, or BENCH docs)",
     )
     ap.add_argument("--out", default="trace.json", help="profile: Chrome trace output path")
     ap.add_argument("--jsonl", default=None, help="profile: also write a JSON-lines span log")
+    ap.add_argument(
+        "--snapshot", default=None,
+        help="profile: write a perfdiff-ready span/counter aggregate JSON",
+    )
+    ap.add_argument(
+        "--openmetrics", default=None,
+        help="profile: write metrics + convergence series as OpenMetrics text",
+    )
+    ap.add_argument(
+        "--series-jsonl", default=None,
+        help="profile: write convergence time-series points as JSON lines",
+    )
+    ap.add_argument(
+        "--plant-slow", default=None, metavar="NAME:SECONDS",
+        help="profile: plant a deliberate slowdown on one span name "
+        "(perfdiff negative control)",
+    )
+    ap.add_argument(
+        "--top", type=int, default=15, help="perfdiff: rows per section in the diff table"
+    )
+    ap.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="perfdiff: also write the full report as JSON to PATH",
+    )
+    ap.add_argument(
+        "--min-delta", type=float, default=None,
+        help="perfdiff: ignore span deltas smaller than this many seconds",
+    )
     ap.add_argument(
         "--resolution-km", type=float, default=None,
         help="footprint resolution [km] (default: profile 300, chaos 350)",
@@ -451,7 +580,8 @@ def main(argv=None) -> int:
     ap.add_argument("--budget", type=int, default=5, help="tune: measured-trial budget")
     ap.add_argument(
         "--gpu", default=None,
-        help="tune: modeled architecture (A100|MI250X-GCD; default REPRO_TUNE_GPU or MI250X-GCD)",
+        help="tune/profile: modeled architecture "
+        "(A100|MI250X-GCD; default REPRO_TUNE_GPU or MI250X-GCD)",
     )
     ap.add_argument(
         "--cache", default=None,
@@ -472,8 +602,24 @@ def main(argv=None) -> int:
             resolution_km=args.resolution_km if args.resolution_km is not None else 300.0,
             layers=args.layers if args.layers is not None else 5,
             nparts=args.nparts if args.nparts is not None else 1,
+            gpu=args.gpu,
+            snapshot_out=args.snapshot,
+            openmetrics_out=args.openmetrics,
+            series_jsonl=args.series_jsonl,
+            plant_slow=args.plant_slow,
         )
         return 0
+    if args.artifact == "perfdiff":
+        from repro.observability import perfdiff as pd
+
+        if len(args.paths) != 2:
+            ap.error("perfdiff needs exactly two paths: BASELINE CURRENT")
+        extra = ["--top", str(args.top)]
+        if args.json:
+            extra += ["--json", args.json]
+        if args.min_delta is not None:
+            extra += ["--min-delta", str(args.min_delta)]
+        return pd.main([*args.paths, *extra])
     if args.artifact == "tune":
         return tune(
             mesh=args.mesh,

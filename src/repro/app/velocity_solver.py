@@ -28,7 +28,7 @@ from repro.fem.sparse import CsrMatrix
 from repro.mesh.extrude import ExtrudedMesh
 from repro.mesh.geometry import IceGeometry
 from repro.mesh.partition import TrafficMeter, halo_statistics, partition_footprint
-from repro.observability import get_metrics, get_tracer
+from repro.observability import get_metrics, get_series, get_tracer
 from repro.physics.evaluators import Workset, build_stokes_field_manager
 from repro.physics.viscosity import flow_factor_arrhenius
 from repro.resilience.injectors import RankFailure, fault_plane
@@ -622,6 +622,7 @@ class StokesVelocityProblem:
                 "tracing_active": tr.recording,
                 "spans_recorded": len(tr.spans),
                 "metrics": get_metrics().snapshot(),
+                "series": get_series().summary(),
             },
         }
         if self.spmd is not None:

@@ -52,10 +52,13 @@ not the internal entry streams this in-process simulation routes.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
+
 import numpy as np
 
 from repro.fem.assembly import AssemblyPlan
 from repro.fem.sparse import CsrMatrix
+from repro.gpusim.solver_bytes import spmv_bytes, spmv_flops
 from repro.mesh.partition import HaloExchange, Partition, TrafficMeter
 from repro.observability import get_tracer
 from repro.resilience.detectors import payload_checksum, verify_payload
@@ -292,10 +295,17 @@ class DistributedStokesAssembly:
                             self.meter.record("vector_scatter", q, p, nbytes)
                     else:
                         self.meter.record("vector_scatter", q, p, nbytes)
-                stream = self._stream(self._res_groups[p], len(self._res_rows[p]), rank_blocks)
-                f[self._owned_dofs[p]] = np.bincount(
-                    self._res_rows[p], weights=stream, minlength=len(self._owned_dofs[p])
-                )
+                # rank-local scatter work: the compute side of the
+                # halo/compute critical-path split
+                with (
+                    tr.span("rank.assemble", cat="compute", rank=p, phase="residual")
+                    if tr.recording
+                    else nullcontext()
+                ):
+                    stream = self._stream(self._res_groups[p], len(self._res_rows[p]), rank_blocks)
+                    f[self._owned_dofs[p]] = np.bincount(
+                        self._res_rows[p], weights=stream, minlength=len(self._owned_dofs[p])
+                    )
             self.meter.count_event("residual_exchange")
         return f
 
@@ -320,18 +330,23 @@ class DistributedStokesAssembly:
                             self.meter.record("matrix_export", q, p, nbytes)
                     else:
                         self.meter.record("matrix_export", q, p, nbytes)
-                stream = self._stream(self._jac_groups[p], len(self._jac_slots[p]), rank_blocks)
-                data = np.bincount(
-                    self._jac_slots[p], weights=stream, minlength=len(self._gslots[p])
-                )
-                if diag_scale is not None:
-                    if self._bc_clear[p] is None:
-                        raise ValueError("plan was built without Dirichlet dofs")
-                    if diag_scale <= 0.0:
-                        raise ValueError("diag_scale must be positive")
-                    data[self._bc_clear[p]] = 0.0
-                    data[self._bc_diag[p]] = diag_scale
-                data_parts.append(data)
+                with (
+                    tr.span("rank.assemble", cat="compute", rank=p, phase="jacobian")
+                    if tr.recording
+                    else nullcontext()
+                ):
+                    stream = self._stream(self._jac_groups[p], len(self._jac_slots[p]), rank_blocks)
+                    data = np.bincount(
+                        self._jac_slots[p], weights=stream, minlength=len(self._gslots[p])
+                    )
+                    if diag_scale is not None:
+                        if self._bc_clear[p] is None:
+                            raise ValueError("plan was built without Dirichlet dofs")
+                        if diag_scale <= 0.0:
+                            raise ValueError("diag_scale must be positive")
+                        data[self._bc_clear[p]] = 0.0
+                        data[self._bc_diag[p]] = diag_scale
+                    data_parts.append(data)
             self.meter.count_event("jacobian_exchange")
         return DistributedMatrix(self, data_parts)
 
@@ -398,7 +413,18 @@ class DistributedMatrix:
                 plane = fault_plane()
                 if plane.active:
                     self._refresh_ghosts_checked(p, x, xl, plane)
-                y[a._owned_dofs[p]] = self.local_matrix(p).matvec(xl)
+                if tr.recording:
+                    # rank-local SpMV, priced so the critical-path pass
+                    # and roofline attribution see per-rank compute
+                    lm = self.local_matrix(p)
+                    with tr.span(
+                        "rank.spmv", cat="compute", rank=p,
+                        bytes=spmv_bytes(lm.shape[0], lm.nnz),
+                        flops=spmv_flops(lm.nnz),
+                    ):
+                        y[a._owned_dofs[p]] = lm.matvec(xl)
+                else:
+                    y[a._owned_dofs[p]] = self.local_matrix(p).matvec(xl)
             a.meter.count_event("spmv")
         return y
 

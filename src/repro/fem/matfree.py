@@ -213,6 +213,14 @@ class MatrixFreeJacobian:
         nc, k = self.elem_dofs.shape
         return element_apply_bytes(self.n, nc, k)
 
+    @property
+    def flops_per_matvec(self) -> float:
+        """Modeled float64 ops of one apply (see gpusim.solver_bytes)."""
+        from repro.gpusim.solver_bytes import element_apply_flops
+
+        nc, k = self.elem_dofs.shape
+        return element_apply_flops(nc, k)
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         nc, k = self.elem_dofs.shape
         return (

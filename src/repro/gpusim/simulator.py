@@ -115,9 +115,10 @@ class GPUSimulator:
         if plane.active:
             self._launch_checked(plane, variant.key)
 
-        with get_tracer().span(
+        tr = get_tracer()
+        with tr.span(
             "gpusim.run", cat="gpusim", variant=variant.key, gpu=self.spec.name
-        ):
+        ) as sp:
             program: ThreadProgram = record_kernel_trace(
                 variant.key, num_nodes=problem.num_nodes, num_qps=problem.num_qps
             )
@@ -125,6 +126,16 @@ class GPUSimulator:
             occ = compute_occupancy(self.spec, alloc, problem.num_cells)
             dm = measure_data_movement(program, self.spec, occ, problem.num_cells)
             timing = estimate_time(self.spec, variant, program, alloc, occ, dm, problem.num_cells)
+            if tr.recording:
+                # raw roofline inputs: modeled traffic, the rocprof
+                # request-formula cross-check, and the *simulated* kernel
+                # time (the span's own duration measures the simulator)
+                sp.args.update(
+                    bytes=dm.total_bytes,
+                    rocprof_bytes=dm.rocprof_formula_bytes(),
+                    flops=float(program.flops) * problem.num_cells,
+                    model_time_s=timing.time_s,
+                )
 
         metrics = get_metrics()
         metrics.counter("gpusim.kernel_runs").inc()

@@ -25,6 +25,13 @@ All functions are dependency-free and deterministic; they are consumed
 by :func:`repro.solvers.gmres.gmres` (per-iteration accumulation into
 ``gmres.*.bytes`` metrics) and by ``benchmarks/bench_solver_hotpath.py``
 (the ``BENCH_hotpath.json`` bytes/iteration table).
+
+The ``*_flops`` companions price the float64 operations of the same
+kernels, so roofline attribution (``observability/attribution.py``)
+can place each span at its arithmetic intensity ``flops/bytes`` --
+which is how the byte model's "bandwidth-bound" premise becomes a
+checkable number (AI far left of the ridge point) instead of prose.
+Counting rule: one flop per scalar add/mul/fma-half (an fma is 2).
 """
 
 from __future__ import annotations
@@ -41,6 +48,13 @@ __all__ = [
     "cycle_close_bytes",
     "assembled_fill_bytes",
     "operator_traffic",
+    "spmv_flops",
+    "element_apply_flops",
+    "mgs_orth_flops",
+    "fused_orth_flops",
+    "fused_reorth_flops",
+    "cycle_close_flops",
+    "operator_flops",
 ]
 
 FLOAT_BYTES = 8
@@ -109,6 +123,39 @@ def assembled_fill_bytes(n: int, nnz: int, num_cells: int, k: int) -> float:
     return float(num_cells * k * k * (FLOAT_BYTES + INDEX_BYTES) + 2 * FLOAT_BYTES * nnz)
 
 
+def spmv_flops(nnz: int) -> float:
+    """CSR ``y = A x``: one multiply-add per stored nonzero."""
+    return float(2 * nnz)
+
+
+def element_apply_flops(num_cells: int, k: int) -> float:
+    """Element-by-element ``y = A x``: a dense ``k x k`` GEMV per cell
+    (2 k^2 flops) plus the ``k`` scatter-accumulate adds."""
+    return float(num_cells * (2 * k * k + k))
+
+
+def mgs_orth_flops(n: int, depth: int) -> float:
+    """MGS at Krylov depth ``depth``: per column one dot (2n) and one
+    axpy (2n); then the norm (2n) and the normalizing scale (n)."""
+    return float(4 * depth * n + 3 * n)
+
+
+def fused_orth_flops(n: int, depth: int) -> float:
+    """Fused CGS moves the same flops as MGS through fewer streams:
+    the block dot and fused update are still 2n per column each."""
+    return mgs_orth_flops(n, depth)
+
+
+def fused_reorth_flops(n: int, depth: int) -> float:
+    """One DGKS re-orthogonalization pass: block dot + fused update."""
+    return float(4 * depth * n)
+
+
+def cycle_close_flops(n: int, k_used: int) -> float:
+    """``x += Z[:k]^T y`` (2n per column) + residual vector update."""
+    return float(2 * k_used * n + 2 * n)
+
+
 def operator_traffic(A) -> tuple[str, float]:
     """(mode label, modeled bytes per matvec) for a solver operator.
 
@@ -124,3 +171,19 @@ def operator_traffic(A) -> tuple[str, float]:
     if shape is not None and nnz is not None:
         return "assembled", spmv_bytes(int(shape[0]), int(nnz))
     return "opaque", 0.0
+
+
+def operator_flops(A) -> float:
+    """Modeled flops per matvec for a solver operator (0 when opaque).
+
+    The flop companion of :func:`operator_traffic`: matrix-free element
+    operators expose ``flops_per_matvec``, assembled matrices are priced
+    by :func:`spmv_flops`.
+    """
+    fpm = getattr(A, "flops_per_matvec", None)
+    if fpm is not None:
+        return float(fpm)
+    nnz = getattr(A, "nnz", None)
+    if nnz is not None:
+        return spmv_flops(int(nnz))
+    return 0.0

@@ -16,7 +16,21 @@ Kokkos exposes it:
   with a single JSON-able ``snapshot()`` embedded in
   ``VelocitySolution.diagnostics["observability"]``;
 * :mod:`~repro.observability.export` -- Chrome trace-event JSON (open
-  in Perfetto), JSON-lines, and ASCII flame/summary tables.
+  in Perfetto), JSON-lines, and ASCII flame/summary tables;
+* :mod:`~repro.observability.timeseries` -- timestamped convergence
+  series (residual histories, recovery events, tuner trials) aligned
+  with the span clock;
+* :mod:`~repro.observability.attribution` -- roofline annotation of
+  priced spans (AI, %-of-roof vs a GPU spec) plus rocprof-formula byte
+  reconciliation;
+* :mod:`~repro.observability.stitch` -- SPMD per-rank stream stitching
+  (rank -> Chrome pid, clock alignment) and the halo-wait vs compute
+  critical-path split;
+* :mod:`~repro.observability.openmetrics` -- OpenMetrics text
+  exposition of metrics + series, with a stdlib validating parser;
+* :mod:`~repro.observability.perfdiff` -- snapshot differ behind
+  ``python -m repro perfdiff`` (stdlib-only: usable even when the
+  package under diagnosis is broken).
 
 Quick start::
 
@@ -43,8 +57,32 @@ from repro.observability.export import (
     write_chrome_trace,
     write_jsonl,
 )
+from repro.observability.attribution import (
+    annotate_roofline,
+    reconcile_rocprof_bytes,
+    roofline_table,
+    span_bytes,
+)
 from repro.observability.hooks import HookRegistry, ToolSubscriber, region, registry
 from repro.observability.metrics import Counter, Gauge, Histogram, MetricsRegistry, get_metrics
+from repro.observability.openmetrics import parse_exposition, render, write_openmetrics
+from repro.observability.perfdiff import diff_documents, format_diff, load_perf_document
+from repro.observability.stitch import (
+    DRIVER_PID,
+    RankStream,
+    align_clocks,
+    critical_path_table,
+    halo_compute_split,
+    split_rank_streams,
+    stitch_process_labels,
+    stitch_spans,
+)
+from repro.observability.timeseries import (
+    SeriesRegistry,
+    TimeSeries,
+    get_series,
+    write_series_jsonl,
+)
 from repro.observability.tracer import Span, SpanTracer, TracerSubscriber, get_tracer
 
 __all__ = [
@@ -69,6 +107,28 @@ __all__ = [
     "summary_table",
     "ascii_flame",
     "metrics_table",
+    "TimeSeries",
+    "SeriesRegistry",
+    "get_series",
+    "write_series_jsonl",
+    "annotate_roofline",
+    "roofline_table",
+    "reconcile_rocprof_bytes",
+    "span_bytes",
+    "DRIVER_PID",
+    "RankStream",
+    "align_clocks",
+    "split_rank_streams",
+    "stitch_spans",
+    "stitch_process_labels",
+    "halo_compute_split",
+    "critical_path_table",
+    "render",
+    "write_openmetrics",
+    "parse_exposition",
+    "load_perf_document",
+    "diff_documents",
+    "format_diff",
 ]
 
 

@@ -27,12 +27,25 @@ __all__ = [
 ]
 
 
-def to_chrome_trace(spans, metrics: dict | None = None, process_labels: dict | None = None) -> dict:
+def to_chrome_trace(
+    spans,
+    metrics: dict | None = None,
+    process_labels: dict | None = None,
+    series=None,
+    counter_pid: int = 0,
+) -> dict:
     """Build the Chrome trace-event document for a span list.
 
     ``metrics`` (a :meth:`MetricsRegistry.snapshot` dict) rides along in
     ``otherData`` where Perfetto surfaces it as trace metadata.
     ``process_labels`` maps pid -> display name (default ``rank <pid>``).
+    ``series`` (a :class:`~repro.observability.timeseries.SeriesRegistry`)
+    exports each convergence series as ``"ph": "C"`` counter events on
+    ``counter_pid`` -- Perfetto plots them as value tracks under the
+    span timeline, so residual histories line up with the Newton/GMRES
+    spans that produced them.  Points stamped before the trace clock's
+    zero (recorded outside the session) are dropped: counter events
+    must share the spans' non-negative time basis.
     """
     events = []
     seen: set[tuple[int, int]] = set()
@@ -62,6 +75,24 @@ def to_chrome_trace(spans, metrics: dict | None = None, process_labels: dict | N
                 "args": dict(s.args, span_id=s.id, parent_id=s.parent, depth=s.depth),
             }
         )
+    if series is not None:
+        for ts in series.all():
+            label = ",".join(f"{k}={v}" for k, v in sorted(ts.labels.items()))
+            track = f"{ts.name}{{{label}}}" if label else ts.name
+            for ts_us, _t_unix, value in ts.points:
+                if ts_us < 0.0:
+                    continue
+                pids.add(counter_pid)
+                events.append(
+                    {
+                        "name": track,
+                        "ph": "C",
+                        "ts": ts_us,
+                        "pid": counter_pid,
+                        "tid": 0,
+                        "args": {"value": value},
+                    }
+                )
     labels = process_labels or {}
     for pid in sorted(pids):
         events.append(
@@ -79,11 +110,20 @@ def to_chrome_trace(spans, metrics: dict | None = None, process_labels: dict | N
     return doc
 
 
-def write_chrome_trace(path, spans, metrics: dict | None = None, process_labels: dict | None = None) -> Path:
+def write_chrome_trace(
+    path,
+    spans,
+    metrics: dict | None = None,
+    process_labels: dict | None = None,
+    series=None,
+    counter_pid: int = 0,
+) -> Path:
     """Write the Chrome trace JSON (creates parent directories)."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    doc = to_chrome_trace(spans, metrics=metrics, process_labels=process_labels)
+    doc = to_chrome_trace(
+        spans, metrics=metrics, process_labels=process_labels, series=series, counter_pid=counter_pid
+    )
     path.write_text(json.dumps(doc) + "\n")
     return path
 
@@ -202,8 +242,11 @@ def metrics_table(snapshot: dict, title: str | None = None) -> str:
     if hists:
         parts.append(
             format_table(
-                ["histogram", "count", "mean", "min", "max", "sum"],
-                [[k, h["count"], h["mean"], h["min"], h["max"], h["sum"]] for k, h in hists.items()],
+                ["histogram", "count", "mean", "p50", "p95", "min", "max", "sum"],
+                [
+                    [k, h["count"], h["mean"], h.get("p50", 0.0), h.get("p95", 0.0), h["min"], h["max"], h["sum"]]
+                    for k, h in hists.items()
+                ],
                 title="Metrics: histograms",
             )
         )

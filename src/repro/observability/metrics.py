@@ -13,6 +13,16 @@ solver embeds in ``VelocitySolution.diagnostics["observability"]`` and
 the exporters attach to the Chrome trace.  All updates are cheap enough
 to stay always-on (an int add / float compare) -- there is no disabled
 state to keep consistent.
+
+Thread-safety contract (the SPMD worker-pool audit): ``Counter.inc``
+and ``Histogram.observe`` are read-modify-write sequences, so each
+instrument carries its own lock -- an uncontended CPython lock is a few
+tens of nanoseconds, noise next to the numpy work between updates, and
+it makes concurrent increments lossless (regression-tested in
+``tests/unit/test_observability.py``).  ``Gauge.set`` is a single
+attribute store -- atomic under the GIL by itself -- and stays lockless;
+last-write-wins among racing writers is the gauge semantic anyway.
+Instrument *creation* is guarded by the registry lock as before.
 """
 
 from __future__ import annotations
@@ -26,13 +36,15 @@ __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "get_metrics"]
 class Counter:
     """Monotonically increasing count (events, bytes, iterations)."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self):
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, n: int | float = 1) -> None:
-        self.value += n
+        with self._lock:
+            self.value += n
 
 
 class Gauge:
@@ -44,18 +56,27 @@ class Gauge:
         self.value = 0.0
 
     def set(self, v: float) -> None:
+        # single store: atomic under the GIL, last-write-wins by design
         self.value = float(v)
 
 
 class Histogram:
     """Streaming summary of an observed distribution.
 
-    Tracks count / sum / min / max / last plus the sum of squares, so
-    the snapshot can report mean and standard deviation without storing
-    samples (bounded memory no matter how hot the call site).
+    Tracks count / sum / min / max / last plus the sum of squares for
+    mean and standard deviation, and a bounded sample reservoir for
+    p50/p95 quantiles.  The reservoir is *deterministically* decimated
+    (keep every Nth observation, doubling N when :data:`RESERVOIR_CAP`
+    fills) rather than randomly sampled -- same inputs, same snapshot,
+    the property every bitwise-reproducibility test in this repo leans
+    on.  Memory stays bounded no matter how hot the call site.
     """
 
-    __slots__ = ("count", "total", "sq_total", "min", "max", "last")
+    #: reservoir decimation threshold (kept samples, not observations)
+    RESERVOIR_CAP = 1024
+
+    __slots__ = ("count", "total", "sq_total", "min", "max", "last",
+                 "_samples", "_stride", "_pending", "_lock")
 
     def __init__(self):
         self.count = 0
@@ -64,17 +85,37 @@ class Histogram:
         self.min = math.inf
         self.max = -math.inf
         self.last = 0.0
+        self._samples: list[float] = []
+        self._stride = 1
+        self._pending = 0
+        self._lock = threading.Lock()
 
     def observe(self, v: float) -> None:
         v = float(v)
-        self.count += 1
-        self.total += v
-        self.sq_total += v * v
-        if v < self.min:
-            self.min = v
-        if v > self.max:
-            self.max = v
-        self.last = v
+        with self._lock:
+            self.count += 1
+            self.total += v
+            self.sq_total += v * v
+            if v < self.min:
+                self.min = v
+            if v > self.max:
+                self.max = v
+            self.last = v
+            self._pending += 1
+            if self._pending >= self._stride:
+                self._pending = 0
+                self._samples.append(v)
+                if len(self._samples) >= self.RESERVOIR_CAP:
+                    self._samples = self._samples[::2]
+                    self._stride *= 2
+
+    def quantile(self, q: float) -> float:
+        """Quantile estimate from the kept reservoir (0 when empty)."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        idx = min(len(ordered) - 1, int(q * (len(ordered) - 1) + 0.5))
+        return ordered[idx]
 
     @property
     def mean(self) -> float:
@@ -89,7 +130,10 @@ class Histogram:
 
     def summary(self) -> dict:
         if self.count == 0:
-            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0, "stddev": 0.0, "last": 0.0}
+            return {
+                "count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
+                "stddev": 0.0, "last": 0.0, "p50": 0.0, "p95": 0.0,
+            }
         return {
             "count": self.count,
             "sum": self.total,
@@ -98,6 +142,8 @@ class Histogram:
             "mean": self.mean,
             "stddev": self.stddev,
             "last": self.last,
+            "p50": self.quantile(0.5),
+            "p95": self.quantile(0.95),
         }
 
 

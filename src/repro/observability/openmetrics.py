@@ -1,0 +1,224 @@
+"""OpenMetrics text exposition for the metrics + series registries.
+
+Renders one self-describing text document (`OpenMetrics 1.0
+<https://prometheus.io/docs/specs/om/open_metrics_spec/>`_) from a
+:meth:`~repro.observability.metrics.MetricsRegistry.snapshot` and a
+:class:`~repro.observability.timeseries.SeriesRegistry`:
+
+* counters  -> ``# TYPE x counter`` + one ``x_total`` sample;
+* gauges    -> ``# TYPE x gauge`` + one sample;
+* histograms-> ``# TYPE x summary``: ``x{quantile="0.5"}``,
+  ``x{quantile="0.95"}``, ``x_sum``, ``x_count`` (quantiles come from
+  the deterministic reservoir, see metrics.py);
+* series    -> ``# TYPE x gauge`` with the series labels plus an ``i``
+  sample-index label and a Unix timestamp per point.  An exposition is
+  nominally a point-in-time scrape; the index label is what lets one
+  document carry a whole convergence history without the duplicate
+  metric+labelset pairs the spec forbids.
+
+Dots in registry names (``gmres.iterations``) become underscores --
+OpenMetrics names match ``[a-zA-Z_][a-zA-Z0-9_]*``.
+
+:func:`parse_exposition` is the matching stdlib-only validator (line
+grammar, name charset, TYPE consistency, counter ``_total`` suffix,
+duplicate labelsets, ``# EOF`` terminator).  Tests and CI run every
+rendered document back through it, so the exposition path is
+self-checking end to end.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+__all__ = ["render", "write_openmetrics", "parse_exposition", "sanitize_name"]
+
+CONTENT_TYPE = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# sample line: name{labels} value [timestamp]
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)"
+    r"(?: (?P<ts>\S+))?$"
+)
+_LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def sanitize_name(name: str) -> str:
+    """Registry name -> OpenMetrics metric name (dots/dashes -> ``_``)."""
+    out = re.sub(r"[^a-zA-Z0-9_]", "_", name)
+    if not out or not re.match(r"[a-zA-Z_]", out[0]):
+        out = "_" + out
+    return out
+
+
+def _escape_label_value(v) -> str:
+    return str(v).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _fmt_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{sanitize_name(str(k))}="{_escape_label_value(v)}"' for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _fmt_value(v: float) -> str:
+    f = float(v)
+    if f == int(f) and abs(f) < 1e15:
+        return str(int(f))
+    return repr(f)
+
+
+def render(metrics_snapshot: dict | None = None, series_registry=None) -> str:
+    """Build the exposition text (terminated by ``# EOF``)."""
+    lines: list[str] = []
+    snap = metrics_snapshot or {}
+
+    for name in sorted(snap.get("counters", {})):
+        m = sanitize_name(name)
+        lines.append(f"# TYPE {m} counter")
+        lines.append(f"{m}_total {_fmt_value(snap['counters'][name])}")
+
+    for name in sorted(snap.get("gauges", {})):
+        m = sanitize_name(name)
+        lines.append(f"# TYPE {m} gauge")
+        lines.append(f"{m} {_fmt_value(snap['gauges'][name])}")
+
+    for name in sorted(snap.get("histograms", {})):
+        s = snap["histograms"][name]
+        m = sanitize_name(name)
+        lines.append(f"# TYPE {m} summary")
+        for q_key, q_label in (("p50", "0.5"), ("p95", "0.95")):
+            if q_key in s:
+                lines.append(f'{m}{{quantile="{q_label}"}} {_fmt_value(s[q_key])}')
+        lines.append(f"{m}_sum {_fmt_value(s.get('sum', 0.0))}")
+        lines.append(f"{m}_count {_fmt_value(s.get('count', 0))}")
+
+    if series_registry is not None:
+        for ts in series_registry.all():
+            m = sanitize_name(ts.name)
+            lines.append(f"# TYPE {m} gauge")
+            for i, (_ts_us, t_unix, value) in enumerate(ts.points):
+                labels = dict(ts.labels)
+                labels["i"] = i
+                lines.append(f"{m}{_fmt_labels(labels)} {_fmt_value(value)} {t_unix:.6f}")
+
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def write_openmetrics(path, metrics_snapshot: dict | None = None, series_registry=None) -> Path:
+    """Render and write the exposition; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render(metrics_snapshot, series_registry))
+    return path
+
+
+def parse_exposition(text: str) -> dict:
+    """Validate an OpenMetrics text document; return parsed families.
+
+    Stdlib-only structural validator (no client library in the image):
+
+    * every line is a ``# TYPE``/``# HELP``/``# UNIT`` metadata line, a
+      sample matching the grammar, or the final ``# EOF``;
+    * metric and label names match the OpenMetrics charset;
+    * at most one ``# TYPE`` per family, and it precedes its samples;
+    * counter samples end in ``_total``; summary samples are
+      ``name{quantile=...}`` / ``name_sum`` / ``name_count``;
+    * no duplicate (sample name, labelset) pairs;
+    * the document ends with ``# EOF`` and nothing follows it.
+
+    Returns ``{family: {"type": t, "samples": [(name, labels, value,
+    timestamp_or_None), ...]}}``; raises :class:`ValueError` with a
+    line-numbered message on the first violation.
+    """
+    families: dict[str, dict] = {}
+    seen_samples: set = set()
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    if not lines or lines[-1] != "# EOF":
+        raise ValueError("exposition must end with '# EOF'")
+
+    def err(i: int, msg: str):
+        raise ValueError(f"line {i + 1}: {msg}: {lines[i]!r}")
+
+    for i, line in enumerate(lines):
+        if line == "# EOF":
+            if i != len(lines) - 1:
+                err(i, "content after '# EOF'")
+            break
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if len(parts) < 3 or parts[0] != "#" or parts[1] not in ("TYPE", "HELP", "UNIT"):
+                err(i, "malformed metadata line")
+            fam = parts[2]
+            if not _NAME_RE.match(fam):
+                err(i, f"invalid metric family name {fam!r}")
+            entry = families.setdefault(fam, {"type": None, "samples": []})
+            if parts[1] == "TYPE":
+                if len(parts) != 4 or parts[3] not in (
+                    "counter", "gauge", "summary", "histogram", "unknown", "info", "stateset",
+                ):
+                    err(i, "invalid TYPE")
+                if entry["type"] is not None:
+                    err(i, f"duplicate TYPE for family {fam!r}")
+                if entry["samples"]:
+                    err(i, f"TYPE after samples for family {fam!r}")
+                entry["type"] = parts[3]
+            continue
+
+        m = _SAMPLE_RE.match(line)
+        if not m:
+            err(i, "malformed sample line")
+        name = m.group("name")
+        raw_labels = m.group("labels")
+        labels: dict[str, str] = {}
+        if raw_labels:
+            consumed = _LABEL_PAIR_RE.sub("", raw_labels).replace(",", "").strip()
+            if consumed:
+                err(i, "malformed label set")
+            for lk, lv in _LABEL_PAIR_RE.findall(raw_labels):
+                if not _LABEL_RE.match(lk):
+                    err(i, f"invalid label name {lk!r}")
+                if lk in labels:
+                    err(i, f"duplicate label {lk!r}")
+                labels[lk] = lv
+        try:
+            value = float(m.group("value"))
+        except ValueError:
+            err(i, f"non-numeric value {m.group('value')!r}")
+        ts = None
+        if m.group("ts") is not None:
+            try:
+                ts = float(m.group("ts"))
+            except ValueError:
+                err(i, f"non-numeric timestamp {m.group('ts')!r}")
+
+        # resolve the family this sample belongs to (suffix-aware)
+        fam = name
+        for suffix in ("_total", "_sum", "_count", "_bucket", "_created"):
+            base = name[: -len(suffix)] if name.endswith(suffix) else None
+            if base and base in families:
+                fam = base
+                break
+        entry = families.setdefault(fam, {"type": None, "samples": []})
+        ftype = entry["type"]
+        if ftype == "counter" and not name.endswith(("_total", "_created")):
+            err(i, f"counter sample {name!r} must end in '_total'")
+        if ftype == "summary" and name == fam and "quantile" not in labels:
+            err(i, f"summary sample {name!r} needs a quantile label")
+        key = (name, tuple(sorted(labels.items())))
+        if key in seen_samples:
+            err(i, f"duplicate sample for {name!r} with identical labels")
+        seen_samples.add(key)
+        entry["samples"].append((name, labels, value, ts))
+
+    return families

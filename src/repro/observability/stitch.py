@@ -1,0 +1,231 @@
+"""SPMD trace stitching: per-rank streams -> one clock-aligned trace.
+
+A real distributed run produces one span stream per rank, each on its
+own monotonic clock with its own epoch.  Perfetto renders such streams
+meaningfully only after two transforms this module provides:
+
+* **clock alignment** (:func:`align_clocks`) -- estimate one offset per
+  stream from a synchronization span every rank records (the last
+  collective everyone leaves together, by default ``velocity.solve``)
+  and shift the stream so the sync point coincides, the standard
+  postmortem trick MPI trace stitchers (Vampir/Score-P) use when no
+  globally-synchronized clock exists;
+* **rank -> pid mapping** (:func:`stitch_spans`) -- every span carrying
+  a ``rank`` arg moves to ``pid = rank`` (its own Perfetto track);
+  rank-agnostic driver spans (Newton steps, GMRES cycles) stay on a
+  dedicated driver pid so per-rank lanes show only that rank's work.
+
+The in-process SPMD simulation shares one clock, so its offsets are
+zero -- but the same solve emits rank-tagged halo (``cat="halo"``) and
+compute (``cat="compute"``) spans, which is what the **critical-path
+pass** (:func:`halo_compute_split`) consumes: per Newton step and per
+rank it splits time into halo-exchange wait vs rank-local compute, and
+names the critical (slowest) rank -- the number that tells you whether
+a slow step is communication- or compute-bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.observability.tracer import Span
+
+__all__ = [
+    "RankStream",
+    "align_clocks",
+    "stitch_spans",
+    "split_rank_streams",
+    "halo_compute_split",
+    "critical_path_table",
+    "DRIVER_PID",
+]
+
+
+def DRIVER_PID(nparts: int) -> int:
+    """pid of the rank-agnostic driver timeline in a stitched trace."""
+    return int(nparts)
+
+
+@dataclass
+class RankStream:
+    """One rank's span stream with its (estimated or known) clock skew.
+
+    ``offset_us`` is *added* to every span timestamp when stitching;
+    :func:`align_clocks` estimates it so all streams share the
+    reference stream's clock.
+    """
+
+    rank: int
+    spans: list = field(default_factory=list)
+    offset_us: float = 0.0
+
+
+def _sync_end(stream: RankStream, sync_name: str) -> float | None:
+    """End timestamp of the stream's last sync-named span (local clock)."""
+    ends = [s.end_us for s in stream.spans if s.name == sync_name]
+    return max(ends) if ends else None
+
+
+def align_clocks(streams: list[RankStream], sync_name: str = "velocity.solve") -> list[RankStream]:
+    """Estimate per-stream offsets so sync spans end simultaneously.
+
+    The rank-0 (first) stream is the reference.  A stream without the
+    sync span keeps its current offset (nothing to align against).
+    Returns the same stream objects with ``offset_us`` updated.
+    """
+    if not streams:
+        return streams
+    ref = _sync_end(streams[0], sync_name)
+    if ref is None:
+        return streams
+    for st in streams:
+        end = _sync_end(st, sync_name)
+        if end is not None:
+            st.offset_us = ref - end
+    return streams
+
+
+def split_rank_streams(spans, nparts: int) -> tuple[list[RankStream], list]:
+    """Partition one in-process SPMD trace into per-rank streams.
+
+    Spans carrying a ``rank`` arg in ``[0, nparts)`` go to that rank's
+    stream; everything else (the driver timeline: Newton steps, GMRES
+    cycles, assembly orchestration) is returned separately.  Offsets
+    are zero -- one process, one clock.
+    """
+    streams = [RankStream(rank=p) for p in range(nparts)]
+    driver = []
+    for s in spans:
+        r = s.args.get("rank")
+        if isinstance(r, (int, float)) and 0 <= int(r) < nparts:
+            streams[int(r)].spans.append(s)
+        else:
+            driver.append(s)
+    return streams, driver
+
+
+def stitch_spans(
+    streams: list[RankStream],
+    driver_spans=None,
+    nparts: int | None = None,
+) -> list[Span]:
+    """Merge aligned per-rank streams into one trace span list.
+
+    Every rank span is re-labeled ``pid = rank`` and shifted by its
+    stream's ``offset_us``; driver spans keep their timestamps and land
+    on ``pid = DRIVER_PID(nparts)``.  Negative post-shift timestamps
+    are clamped to zero (a stream that started before the reference
+    epoch has no meaningful earlier timeline), and the result is sorted
+    by start time so timestamps are monotone.
+    """
+    if nparts is None:
+        nparts = len(streams)
+    out: list[Span] = []
+    for st in streams:
+        for s in st.spans:
+            ts = max(0.0, s.ts_us + st.offset_us)
+            out.append(replace(s, pid=int(st.rank), ts_us=ts, args=dict(s.args, rank=int(st.rank))))
+    dpid = DRIVER_PID(nparts)
+    for s in driver_spans or []:
+        out.append(replace(s, pid=dpid, ts_us=max(0.0, s.ts_us)))
+    out.sort(key=lambda s: (s.ts_us, s.pid, s.id))
+    return out
+
+
+def stitch_process_labels(nparts: int) -> dict[int, str]:
+    """Chrome trace process names for a stitched SPMD trace."""
+    labels = {p: f"rank {p}" for p in range(nparts)}
+    labels[DRIVER_PID(nparts)] = "driver"
+    return labels
+
+
+# ----------------------------------------------------------------------
+# critical path: halo wait vs compute per Newton step
+
+
+def _children_index(spans) -> dict[int, list]:
+    kids: dict[int, list] = {}
+    for s in spans:
+        kids.setdefault(s.parent, []).append(s)
+    return kids
+
+
+def halo_compute_split(spans) -> list[dict]:
+    """Per-Newton-step, per-rank split of halo-wait vs compute time.
+
+    Walks each ``newton.step`` span's subtree.  Leaf spans tagged with
+    a ``rank`` arg contribute to that rank: ``cat="halo"``
+    (``halo.send`` / ``halo.recv`` payload transfers) counts as
+    halo-wait, ``cat="compute"`` (``rank.spmv`` / ``rank.assemble``
+    rank-local work) as compute.  Container halo spans
+    (``spmd.spmv``, ``halo.ghost_refresh``, ...) carry no rank and are
+    skipped -- only leaves are summed, so nothing double-counts.
+
+    Returns one record per step::
+
+        {"step": k, "dur_s": step_wall, "per_rank": {r: {"halo_s", "compute_s"}},
+         "halo_s": total_halo, "compute_s": total_compute,
+         "critical_rank": slowest_rank, "halo_fraction": halo/(halo+compute)}
+    """
+    kids = _children_index(spans)
+    records = []
+    for step_span in spans:
+        if step_span.name != "newton.step":
+            continue
+        per_rank: dict[int, dict] = {}
+        stack = list(kids.get(step_span.id, []))
+        while stack:
+            s = stack.pop()
+            stack.extend(kids.get(s.id, []))
+            r = s.args.get("rank")
+            if r is None:
+                continue
+            bucket = per_rank.setdefault(int(r), {"halo_s": 0.0, "compute_s": 0.0})
+            if s.cat == "halo":
+                bucket["halo_s"] += s.dur_s
+            elif s.cat == "compute":
+                bucket["compute_s"] += s.dur_s
+        halo = sum(b["halo_s"] for b in per_rank.values())
+        comp = sum(b["compute_s"] for b in per_rank.values())
+        critical = max(
+            per_rank,
+            key=lambda r: per_rank[r]["halo_s"] + per_rank[r]["compute_s"],
+            default=-1,
+        )
+        records.append(
+            {
+                "step": step_span.args.get("step", len(records)),
+                "dur_s": step_span.dur_s,
+                "per_rank": per_rank,
+                "halo_s": halo,
+                "compute_s": comp,
+                "critical_rank": critical,
+                "halo_fraction": halo / (halo + comp) if (halo + comp) > 0 else 0.0,
+            }
+        )
+    records.sort(key=lambda r: r["step"])
+    return records
+
+
+def critical_path_table(records: list[dict], title: str | None = None) -> str:
+    """ASCII rendering of :func:`halo_compute_split` output."""
+    from repro.perf.report import format_table  # deferred (import cycle, see export.py)
+
+    if not records:
+        return "(no newton.step spans with rank-tagged children)"
+    rows = [
+        [
+            r["step"],
+            f"{r['dur_s']:.4f}",
+            f"{r['halo_s']:.4f}",
+            f"{r['compute_s']:.4f}",
+            f"{r['halo_fraction']:.1%}",
+            r["critical_rank"],
+        ]
+        for r in records
+    ]
+    return format_table(
+        ["step", "wall [s]", "halo [s]", "compute [s]", "halo share", "critical rank"],
+        rows,
+        title=title or "Critical path: halo wait vs compute per Newton step",
+    )

@@ -88,6 +88,11 @@ class _SpanHandle:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
+        planted = self.tracer._planted
+        if planted:
+            delay = planted.get(self.name)
+            if delay:
+                time.sleep(delay)
         t1 = time.perf_counter_ns()
         self.dur_ns = t1 - self._t0_ns
         tr = self.tracer
@@ -116,6 +121,7 @@ class SpanTracer:
         self._next_id = 0
         self._tls = threading.local()
         self._tid_map: dict[int, int] = {}
+        self._planted: dict[str, float] = {}
 
     # -- internals ------------------------------------------------------
     def _stack(self) -> list:
@@ -177,6 +183,34 @@ class SpanTracer:
         """Label subsequent spans with an SPMD rank (Chrome trace pid)."""
         self.rank = int(rank)
 
+    def now_us(self) -> float:
+        """Current time in microseconds on the trace clock.
+
+        Zero at the last :meth:`clear`, the same basis as ``Span.ts_us``
+        -- time-series points stamped with this align exactly with the
+        span timeline and export directly as Chrome counter events.
+        """
+        return (time.perf_counter_ns() - self._epoch_ns) * 1.0e-3
+
+    def plant_slowdown(self, name: str, seconds: float) -> None:
+        """Testing hook: sleep ``seconds`` whenever a span ``name`` closes.
+
+        This is how the perfdiff planted-regression controls (CI and
+        integration tests) manufacture a known culprit: the sleep lands
+        inside the span's measured duration, so attribution must rank
+        exactly that span first.  Survives :meth:`clear` (sessions clear
+        the trace after planting); remove with :meth:`clear_slowdowns`.
+        Zero/negative seconds remove the single entry.
+        """
+        if seconds and seconds > 0:
+            self._planted[name] = float(seconds)
+        else:
+            self._planted.pop(name, None)
+
+    def clear_slowdowns(self) -> None:
+        """Remove every planted slowdown."""
+        self._planted = {}
+
     def start(self) -> None:
         self.recording = True
 
@@ -194,17 +228,26 @@ class SpanTracer:
     def aggregate(self) -> dict[str, dict]:
         """Per-name rollup of the recorded spans.
 
-        Returns ``{name: {count, total_s, mean_s, min_s, max_s, cat}}``
-        sorted by descending total time -- the numbers the ASCII summary
-        table and the hot-path bench report.
+        Returns ``{name: {count, total_s, self_s, mean_s, min_s, max_s,
+        cat}}`` sorted by descending total time -- the numbers the ASCII
+        summary table and the hot-path bench report.  ``total_s`` is
+        inclusive; ``self_s`` excludes time spent in child spans, so a
+        regression planted on one span name moves that name's ``self_s``
+        and not its ancestors' (what perfdiff ranks by).
         """
+        child_s: dict[int, float] = {}
+        for s in self.spans:
+            if s.parent >= 0:
+                child_s[s.parent] = child_s.get(s.parent, 0.0) + s.dur_s
         agg: dict[str, dict] = {}
         for s in self.spans:
+            own = max(0.0, s.dur_s - child_s.get(s.id, 0.0))
             a = agg.get(s.name)
             if a is None:
                 agg[s.name] = {
                     "count": 1,
                     "total_s": s.dur_s,
+                    "self_s": own,
                     "min_s": s.dur_s,
                     "max_s": s.dur_s,
                     "cat": s.cat,
@@ -212,6 +255,7 @@ class SpanTracer:
             else:
                 a["count"] += 1
                 a["total_s"] += s.dur_s
+                a["self_s"] += own
                 a["min_s"] = min(a["min_s"], s.dur_s)
                 a["max_s"] = max(a["max_s"], s.dur_s)
         for a in agg.values():

@@ -33,7 +33,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from repro.observability import get_metrics, get_tracer
+from repro.observability import get_metrics, get_series, get_tracer
 
 __all__ = [
     "ResilienceLog",
@@ -66,6 +66,12 @@ class ResilienceLog:
         metrics = get_metrics()
         metrics.counter(f"resilience.{category}").inc()
         metrics.counter(f"resilience.{category}.{kind}").inc()
+        # recovery-ladder timeline: one timestamped point per event so
+        # the convergence plots show *when* the ladder fired, not just
+        # how often (the value is the running event count)
+        get_series().record(
+            "resilience.event", len(self.events), category=category, kind=kind
+        )
         return event
 
     def count(self, category: str, kind: str | None = None) -> int:

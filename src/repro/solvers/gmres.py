@@ -36,7 +36,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.gpusim import solver_bytes as _bytes
-from repro.observability import get_metrics, get_tracer
+from repro.observability import get_metrics, get_series, get_tracer
 from repro.resilience.detectors import classify_gmres
 from repro.verify.sanitizer import sanitizer
 
@@ -160,8 +160,10 @@ def gmres(
     precond = (lambda r: r) if M is None else M.apply
 
     op_mode, apply_bytes = _bytes.operator_traffic(A)
+    apply_flops = _bytes.operator_flops(A)
     nmv = 0
     stream_bytes = 0.0
+    stream_flops = 0.0
     reorths = 0
 
     def _finish(res: GmresResult) -> GmresResult:
@@ -198,6 +200,7 @@ def gmres(
     #: per-cycle true-residual reduction factors (stagnation classifier)
     cycle_reductions: list[float] = []
     tr = get_tracer()
+    series = get_series()
     it_counter = get_metrics().counter("gmres.iterations")
 
     batched_dots = None
@@ -223,7 +226,8 @@ def gmres(
         if m <= 0:
             break
         rnorm_cycle_start = rnorm
-        with tr.span("gmres.cycle", cycle=cycle, krylov_dim=m):
+        nmv_cycle0, stream_cycle0, flops_cycle0 = nmv, stream_bytes, stream_flops
+        with tr.span("gmres.cycle", cycle=cycle, krylov_dim=m) as cycle_span:
             V = np.zeros((m + 1, n))
             Z = np.zeros((m, n))  # preconditioned directions (flexible storage)
             H = np.zeros((m + 1, m))
@@ -259,6 +263,7 @@ def gmres(
                                 site=f"cycle {cycle} k={k}",
                             )
                         stream_bytes += _bytes.mgs_orth_bytes(n, k + 1)
+                        stream_flops += _bytes.mgs_orth_flops(n, k + 1)
                     else:
                         # fused batched CGS: all coefficients from one
                         # block-dot pass, one fused update pass
@@ -268,6 +273,7 @@ def gmres(
                         w = w - h @ Vk
                         wn = norm(w)
                         stream_bytes += _bytes.fused_orth_bytes(n, k + 1)
+                        stream_flops += _bytes.fused_orth_flops(n, k + 1)
                         if wn < 0.5 * wnorm0:
                             # DGKS safeguard: severe cancellation means
                             # CGS left O(eps * wnorm0) components along
@@ -278,6 +284,7 @@ def gmres(
                             wn = norm(w)
                             reorths += 1
                             stream_bytes += _bytes.fused_reorth_bytes(n, k + 1)
+                            stream_flops += _bytes.fused_reorth_flops(n, k + 1)
                         H[: k + 1, k] = h
                         H[k + 1, k] = wn
                         if _SAN.active:
@@ -318,6 +325,7 @@ def gmres(
                     k_used = k + 1
                     rnorm = abs(g[k + 1])
                     norms.append(float(rnorm))
+                    series.record("gmres.residual", float(rnorm), mode=op_mode)
                 if rnorm <= target or breakdown:
                     break
 
@@ -338,11 +346,22 @@ def gmres(
             nmv += 1
             rnorm = norm(r)
             stream_bytes += _bytes.cycle_close_bytes(n, k_used)
+            stream_flops += _bytes.cycle_close_flops(n, k_used)
             if _SAN.active:
                 _SAN.check("gmres.residual_norm", rnorm, site=f"cycle {cycle}")
             norms[-1] = float(rnorm)  # replace estimate with true residual
             if rnorm_cycle_start > 0.0:
                 cycle_reductions.append(float(rnorm / rnorm_cycle_start))
+            if tr.recording:
+                # per-cycle traffic deltas for roofline attribution: the
+                # cycle span carries exactly the bytes/flops it moved
+                mv_cycle = nmv - nmv_cycle0
+                cycle_span.args.update(
+                    matvec_bytes=mv_cycle * apply_bytes,
+                    stream_bytes=stream_bytes - stream_cycle0,
+                    flops=mv_cycle * apply_flops + (stream_flops - flops_cycle0),
+                    operator_mode=op_mode,
+                )
         cycle += 1
 
     converged = bool(rnorm <= target)

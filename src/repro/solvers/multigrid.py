@@ -182,9 +182,34 @@ class ColumnCollapseMdsc:
         self._coarse = spla.splu(Ac)
         self.coarse_damping = coarse_damping
 
+    @property
+    def bytes_per_apply(self) -> float:
+        """Modeled HBM traffic of one V-cycle (roofline attribution).
+
+        Each smoother sweep streams the fine operator once (its
+        residual matvec) plus three vector passes for the block solve
+        and update; the coarse correction adds one fine residual matvec
+        and the restriction/prolongation vector streams (the tiny
+        collapsed factor solve is counted as coarse-vector traffic).
+        """
+        from repro.gpusim.solver_bytes import spmv_bytes, vector_stream_bytes
+
+        n, nnz = self.A.shape[0], self.A.nnz
+        sweeps = 2 * self.smoother.iters  # pre + post relaxation
+        smoother_b = sweeps * (spmv_bytes(n, nnz) + 3 * vector_stream_bytes(n))
+        coarse_b = (
+            spmv_bytes(n, nnz)
+            + 4 * vector_stream_bytes(n)
+            + 4 * vector_stream_bytes(self.P.shape[1])
+        )
+        return smoother_b + coarse_b
+
     def apply(self, r: np.ndarray) -> np.ndarray:
         """Pre-smooth, coarse-correct on the collapsed membrane, post-smooth."""
-        with get_tracer().span("mdsc.vcycle", kind="column-collapse"):
+        tr = get_tracer()
+        with tr.span("mdsc.vcycle", kind="column-collapse") as sp:
+            if tr.recording:
+                sp.args["bytes"] = self.bytes_per_apply
             x = self.smoother.smooth(self.A, r, np.zeros_like(r))
             rr = r - self.A.matvec(x)
             xc = self._coarse.solve(self.P.rmatvec(rr))
@@ -257,9 +282,30 @@ class MatrixFreeColumnCollapseMdsc:
         self._coarse = spla.splu(Ac)
         self.coarse_damping = coarse_damping
 
+    @property
+    def bytes_per_apply(self) -> float:
+        """Modeled HBM traffic of one V-cycle (roofline attribution).
+
+        Same accounting as the assembled :class:`ColumnCollapseMdsc`
+        with the operator streams priced at the element-block apply
+        cost (``bytes_per_matvec``); restriction/prolongation are the
+        ``bincount``/gather vector passes.
+        """
+        from repro.gpusim.solver_bytes import vector_stream_bytes
+
+        n = self.A.shape[0]
+        op_b = float(self.A.bytes_per_matvec)
+        sweeps = 2 * self.smoother.iters  # pre + post relaxation
+        smoother_b = sweeps * (op_b + 3 * vector_stream_bytes(n))
+        coarse_b = op_b + 4 * vector_stream_bytes(n) + 4 * vector_stream_bytes(self.ncoarse)
+        return smoother_b + coarse_b
+
     def apply(self, r: np.ndarray) -> np.ndarray:
         """Pre-smooth, coarse-correct on the collapsed membrane, post-smooth."""
-        with get_tracer().span("mdsc.vcycle", kind="column-collapse-matrix-free"):
+        tr = get_tracer()
+        with tr.span("mdsc.vcycle", kind="column-collapse-matrix-free") as sp:
+            if tr.recording:
+                sp.args["bytes"] = self.bytes_per_apply
             x = self.smoother.smooth(self.A, r, np.zeros_like(r))
             rr = r - self.A.matvec(x)
             rc = np.bincount(self.agg, weights=rr, minlength=self.ncoarse)
@@ -331,9 +377,32 @@ class SemicoarseningMultigrid:
         x = level.smoother.smooth(level.A, b, x, self.post)
         return x
 
+    @property
+    def bytes_per_apply(self) -> float:
+        """Modeled HBM traffic of one V-cycle across the hierarchy.
+
+        Per level (except the direct-solved coarsest): pre+post smoother
+        sweeps stream that level's operator plus three vector passes
+        each, and the residual/transfer work adds one more operator
+        stream and four vector passes.
+        """
+        from repro.gpusim.solver_bytes import spmv_bytes, vector_stream_bytes
+
+        total = 0.0
+        for lv in self.levels[:-1]:
+            n, nnz = lv.A.shape[0], lv.A.nnz
+            sweeps = self.pre + self.post
+            total += sweeps * (spmv_bytes(n, nnz) + 3 * vector_stream_bytes(n))
+            total += spmv_bytes(n, nnz) + 4 * vector_stream_bytes(n)
+        total += 4 * vector_stream_bytes(self.levels[-1].A.shape[0])
+        return total
+
     def apply(self, r: np.ndarray) -> np.ndarray:
         """One V-cycle approximating ``A^-1 r``."""
-        with get_tracer().span("mdsc.vcycle", kind="amg", num_levels=len(self.levels)):
+        tr = get_tracer()
+        with tr.span("mdsc.vcycle", kind="amg", num_levels=len(self.levels)) as sp:
+            if tr.recording:
+                sp.args["bytes"] = self.bytes_per_apply
             return self._cycle(0, r)
 
     def describe(self) -> list[tuple[str, int, int]]:

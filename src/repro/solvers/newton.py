@@ -31,7 +31,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.observability import get_metrics, get_tracer
+from repro.observability import get_metrics, get_series, get_tracer
 from repro.resilience.checkpoint import NewtonCheckpoint
 from repro.resilience.detectors import nonfinite_count
 from repro.solvers.gmres import gmres
@@ -252,8 +252,10 @@ def newton_solve(
     fnorm = float(norm_fn(f))
     if _SAN.active:
         _SAN.check("newton.residual_norm", fnorm, f, site="initial")
+    series = get_series()
     if resume_from is None:
         res.residual_norms.append(fnorm)
+        series.record("newton.residual", fnorm)
     if fnorm <= tol:
         res.converged = True
         return res
@@ -439,6 +441,8 @@ def newton_solve(
             x, f, fnorm = x_trial, f_trial, fnorm_trial
             res.step_lengths.append(alpha)
             res.residual_norms.append(fnorm)
+            series.record("newton.residual", fnorm)
+            series.record("newton.step_length", alpha)
             res.linear_iterations.append(lin.iterations)
             res.linear_flags.append(lin.flag)
             metrics.histogram("gmres.iterations_per_solve").observe(lin.iterations)

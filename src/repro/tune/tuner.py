@@ -36,7 +36,7 @@ from dataclasses import dataclass, field
 
 from repro.app.config import VelocityConfig
 from repro.gpusim.specs import GPUSpec, default_tuning_spec
-from repro.observability import get_metrics, get_tracer
+from repro.observability import get_metrics, get_series, get_tracer
 from repro.tune.cache import TuneCache, TuneRecord, cache_key
 from repro.tune.prior import GpusimPrior, ProblemModel
 from repro.tune.space import DEFAULT_SPACE, TuneCandidate, TuneSpace, candidate_from_config
@@ -156,7 +156,7 @@ class AutoTuner:
             sweeps["jacobian"] * prior.kernel_profile(candidate, "jacobian").hbm_bytes
             + sweeps["residual"] * prior.kernel_profile(candidate, "residual").hbm_bytes
         )
-        return TrialResult(
+        trial = TrialResult(
             candidate=candidate,
             gmres_iterations=int(sum(sol.newton.linear_iterations)),
             gmres_matvecs=int(self._counter_delta(before, after, "gmres.matvecs")),
@@ -168,6 +168,13 @@ class AutoTuner:
             mean_velocity=float(sol.mean_velocity),
             wall_seconds=float(sp.dur_s),
         )
+        # trial outcome timeline: the search's figure of merit per trial,
+        # labeled by candidate so convergence plots show the search path
+        get_series().record(
+            "tune.trial.cost_bytes", trial.cost_bytes,
+            candidate=candidate.describe(), mesh=self.mesh_key,
+        )
+        return trial
 
     # ------------------------------------------------------------------
     def _candidates(self) -> list[TuneCandidate]:

@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import threading
+import time
+
 import numpy as np
 import pytest
 
@@ -236,6 +239,52 @@ class TestSpanTracer:
         assert agg["hot"]["count"] == 3 and agg["cold"]["count"] == 1
         assert agg["hot"]["total_s"] >= agg["hot"]["max_s"] >= agg["hot"]["min_s"] >= 0.0
 
+    def test_aggregate_self_time_excludes_children(self):
+        tr = SpanTracer()
+        tr.start()
+        with tr.span("outer"):
+            with tr.span("inner"):
+                time.sleep(0.01)
+        agg = tr.aggregate()
+        # inner is a leaf: self == total; outer's self excludes inner
+        assert agg["inner"]["self_s"] == agg["inner"]["total_s"]
+        assert agg["outer"]["self_s"] < agg["outer"]["total_s"] - 0.005
+        assert agg["outer"]["self_s"] >= 0.0
+
+    def test_now_us_monotone_and_clear_resets_epoch(self):
+        tr = SpanTracer()
+        a = tr.now_us()
+        b = tr.now_us()
+        assert 0.0 <= a <= b
+        tr.clear()
+        assert tr.now_us() < b + 1e6  # fresh epoch, not the old clock
+
+    def test_planted_slowdown_inflates_named_span_only(self):
+        tr = SpanTracer()
+        tr.plant_slowdown("victim", 0.02)
+        tr.start()
+        with tr.span("victim"):
+            pass
+        with tr.span("bystander"):
+            pass
+        by_name = {s.name: s for s in tr.spans}
+        assert by_name["victim"].dur_s >= 0.02
+        assert by_name["bystander"].dur_s < 0.02
+        # survives clear() (sessions clear the trace after planting) ...
+        tr.clear()
+        with tr.span("victim"):
+            pass
+        assert tr.spans[0].dur_s >= 0.02
+        # ... and zero-seconds / clear_slowdowns() remove it
+        tr.plant_slowdown("victim", 0.0)
+        tr.clear()
+        with tr.span("victim"):
+            pass
+        assert tr.spans[-1].dur_s < 0.02
+        tr.plant_slowdown("victim", 0.02)
+        tr.clear_slowdowns()
+        assert tr._planted == {}
+
     def test_rank_labels_pid(self):
         tr = SpanTracer()
         tr.set_rank(7)
@@ -324,3 +373,74 @@ class TestMetrics:
         m.counter("c").inc(3)
         m.reset()
         assert m.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_histogram_quantiles(self):
+        m = MetricsRegistry()
+        h = m.histogram("h")
+        for v in range(1, 101):  # 1..100
+            h.observe(float(v))
+        assert h.quantile(0.5) == pytest.approx(50.0, abs=2.0)
+        assert h.quantile(0.95) == pytest.approx(95.0, abs=2.0)
+        assert h.quantile(0.0) == 1.0 and h.quantile(1.0) == 100.0
+        s = h.summary()
+        assert s["p50"] == h.quantile(0.5) and s["p95"] == h.quantile(0.95)
+
+    def test_histogram_quantiles_empty(self):
+        m = MetricsRegistry()
+        s = m.histogram("empty").summary()
+        assert s["p50"] == 0.0 and s["p95"] == 0.0
+
+    def test_histogram_reservoir_bounded_and_representative(self):
+        from repro.observability.metrics import Histogram
+
+        h = Histogram()
+        n = Histogram.RESERVOIR_CAP * 8
+        for v in range(n):
+            h.observe(float(v))
+        assert h.count == n
+        assert len(h._samples) <= Histogram.RESERVOIR_CAP
+        # stride decimation keeps the sample spread across the range, so
+        # quantiles stay near truth even after eviction
+        assert h.quantile(0.5) == pytest.approx(n / 2, rel=0.1)
+        assert h.quantile(0.95) == pytest.approx(0.95 * n, rel=0.1)
+
+
+class TestMetricsThreadSafety:
+    """Satellite: the concurrency contract of the metrics primitives."""
+
+    THREADS = 8
+    N = 5000
+
+    def _hammer(self, fn):
+        ts = [threading.Thread(target=fn) for _ in range(self.THREADS)]
+        for t in ts:
+            t.start()
+        for t in ts:
+            t.join()
+
+    def test_counter_increments_are_not_lost(self):
+        m = MetricsRegistry()
+        c = m.counter("c")
+        self._hammer(lambda: [c.inc() for _ in range(self.N)])
+        assert c.value == self.THREADS * self.N
+
+    def test_histogram_observations_are_not_lost(self):
+        m = MetricsRegistry()
+        h = m.histogram("h")
+        self._hammer(lambda: [h.observe(1.0) for _ in range(self.N)])
+        s = h.summary()
+        assert s["count"] == self.THREADS * self.N
+        assert s["sum"] == pytest.approx(float(self.THREADS * self.N))
+        assert s["min"] == s["max"] == 1.0
+
+    def test_registry_creation_races_yield_one_instance(self):
+        m = MetricsRegistry()
+        seen = []
+
+        def create():
+            seen.append(m.counter("shared"))
+
+        self._hammer(create)
+        assert all(c is seen[0] for c in seen)
+        seen[0].inc()
+        assert m.counter("shared").value == 1

@@ -1,0 +1,112 @@
+"""OpenMetrics exposition: rendering, grammar validation, round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.openmetrics import (
+    parse_exposition,
+    render,
+    sanitize_name,
+    write_openmetrics,
+)
+from repro.observability.timeseries import SeriesRegistry
+
+
+def _snapshot():
+    m = MetricsRegistry()
+    m.counter("newton.steps").inc(8)
+    m.counter("gmres.iterations").inc(292)
+    m.gauge("tuner.best_cost").set(1.5e9)
+    h = m.histogram("gmres.iterations_per_solve")
+    for v in (15, 43, 48):
+        h.observe(v)
+    return m.snapshot()
+
+
+def _series():
+    reg = SeriesRegistry()
+    reg.record("newton.residual", 10.0)
+    reg.record("newton.residual", 0.5)
+    reg.record("gmres.residual", 3.0, mode="assembled")
+    return reg
+
+
+class TestSanitizeName:
+    def test_dots_and_dashes_become_underscores(self):
+        assert sanitize_name("newton.residual") == "newton_residual"
+        assert sanitize_name("MI250X-GCD") == "MI250X_GCD"
+
+    def test_leading_digit_guarded(self):
+        assert sanitize_name("3dmesh")[0] not in "0123456789"
+
+
+class TestRender:
+    def test_counters_get_total_suffix_and_type(self):
+        text = render(_snapshot(), None)
+        assert "# TYPE newton_steps counter" in text
+        assert "newton_steps_total 8" in text
+        assert text.endswith("# EOF\n")
+
+    def test_histogram_as_summary_with_quantiles(self):
+        text = render(_snapshot(), None)
+        assert "# TYPE gmres_iterations_per_solve summary" in text
+        assert 'quantile="0.5"' in text and 'quantile="0.95"' in text
+        assert "gmres_iterations_per_solve_count 3" in text
+
+    def test_series_samples_carry_labels_and_timestamps(self):
+        text = render(None, _series())
+        assert 'mode="assembled"' in text
+        # every series sample line ends with a unix timestamp
+        lines = [
+            ln for ln in text.splitlines()
+            if ln.startswith("gmres_residual{") or ln.startswith("newton_residual{")
+        ]
+        assert lines
+        for ln in lines:
+            assert float(ln.split()[-1]) > 1e9
+
+    def test_stdlib_parser_accepts_own_output(self):
+        families = parse_exposition(render(_snapshot(), _series()))
+        assert families["newton_steps"]["type"] == "counter"
+        assert families["gmres_iterations_per_solve"]["type"] == "summary"
+        assert families["newton_residual"]["type"] == "gauge"
+        # both kept points of the residual series survive as samples
+        assert len(families["newton_residual"]["samples"]) == 2
+
+    def test_empty_exposition_is_just_eof(self):
+        assert parse_exposition(render(None, None)) == {}
+
+
+class TestParserRejectsBadExpositions:
+    def test_missing_eof(self):
+        with pytest.raises(ValueError, match="EOF"):
+            parse_exposition("# TYPE x counter\nx_total 1\n")
+
+    def test_counter_sample_without_total_suffix(self):
+        bad = "# TYPE x counter\nx 1\n# EOF\n"
+        with pytest.raises(ValueError):
+            parse_exposition(bad)
+
+    def test_duplicate_type_declaration(self):
+        bad = "# TYPE x gauge\nx 1\n# TYPE x gauge\nx 2\n# EOF\n"
+        with pytest.raises(ValueError):
+            parse_exposition(bad)
+
+    def test_duplicate_sample_same_labelset(self):
+        bad = "# TYPE x gauge\nx 1\nx 2\n# EOF\n"
+        with pytest.raises(ValueError):
+            parse_exposition(bad)
+
+    def test_non_numeric_value(self):
+        bad = "# TYPE x gauge\nx banana\n# EOF\n"
+        with pytest.raises(ValueError):
+            parse_exposition(bad)
+
+
+class TestWriteOpenmetrics:
+    def test_file_round_trip(self, tmp_path):
+        path = write_openmetrics(tmp_path / "m.om", _snapshot(), _series())
+        families = parse_exposition(path.read_text())
+        assert "newton_steps" in families and "gmres_residual" in families

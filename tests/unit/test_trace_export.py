@@ -82,6 +82,57 @@ class TestChromeTraceExport:
         assert {r["name"] for r in recs} == {"solve", "step", "kern"}
 
 
+class TestCounterEventExport:
+    def test_series_become_counter_events(self):
+        from repro.observability.timeseries import SeriesRegistry
+
+        tr = _sample_tracer()
+        reg = SeriesRegistry()
+        reg.record("newton.residual", 10.0)
+        reg.record("newton.residual", 0.5)
+        reg.record("gmres.residual", 3.0, mode="assembled")
+        doc = obs.to_chrome_trace(tr.spans, series=reg, counter_pid=4)
+        cs = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        assert len(cs) == 3
+        for e in cs:
+            assert e["pid"] == 4 and e["ts"] >= 0.0
+            assert set(e["args"]) == {"value"}
+        tracks = {e["name"] for e in cs}
+        assert "newton.residual" in tracks
+        assert "gmres.residual{mode=assembled}" in tracks
+        vals = [e["args"]["value"] for e in cs if e["name"] == "newton.residual"]
+        assert vals == [10.0, 0.5]
+
+    def test_no_series_no_counter_events(self):
+        tr = _sample_tracer()
+        doc = obs.to_chrome_trace(tr.spans)
+        assert all(e["ph"] != "C" for e in doc["traceEvents"])
+
+    def test_counter_events_pass_check_trace(self, tmp_path):
+        import sys
+        from pathlib import Path
+
+        from repro.observability.timeseries import SeriesRegistry
+
+        tr = _sample_tracer()
+        reg = SeriesRegistry()
+        reg.record("newton.residual", 1.0)
+        path = obs.write_chrome_trace(tmp_path / "t.json", tr.spans, series=reg)
+        tools = Path(__file__).resolve().parents[2] / "tools"
+        sys.path.insert(0, str(tools))
+        try:
+            from check_trace import _check_counter
+        finally:
+            sys.path.pop(0)
+        doc = json.loads(path.read_text())
+        errors: list[str] = []
+        counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        assert counters
+        for i, e in enumerate(counters):
+            _check_counter(i, e, errors)
+        assert errors == []
+
+
 class TestAsciiRenderings:
     def test_summary_table_smoke(self):
         tr = _sample_tracer()
@@ -101,6 +152,16 @@ class TestAsciiRenderings:
         }
         text = obs.metrics_table(snap)
         assert "gmres.iterations" in text and "12" in text
+
+    def test_metrics_table_shows_quantile_columns(self):
+        from repro.observability.metrics import MetricsRegistry
+
+        m = MetricsRegistry()
+        h = m.histogram("iters")
+        for v in (10, 20, 30, 40):
+            h.observe(v)
+        text = obs.metrics_table(m.snapshot())
+        assert "p50" in text and "p95" in text
 
     def test_metrics_table_empty(self):
         assert "no metrics" in obs.metrics_table({})

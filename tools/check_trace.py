@@ -12,17 +12,66 @@ Validates that the file is JSON, ``traceEvents`` is a non-empty list,
 every complete ("ph": "X") event carries the required fields with
 non-negative microsecond timestamps, and the trace actually contains
 the solve structure a profile run promises: ``newton.step`` phase spans
-and at least one kernel-category span from the hook registry.  Exits
-nonzero (with a reason on stderr) on any violation.
+and at least one kernel-category span from the hook registry.
+
+Attribution-era checks (PR 8):
+
+* counter ("ph": "C") events -- convergence series exported alongside
+  spans -- must carry a non-negative ``ts`` and a dict ``args`` of
+  numeric values;
+* span ``args.roofline`` annotations must carry every required numeric
+  field (bytes/flops/ai/roof_frac/bw_frac, all finite and
+  non-negative) plus a ``basis`` of ``modeled`` or ``wall``;
+* stitched SPMD traces must map rank to Chrome pid: any X event whose
+  ``args`` carry an integer ``rank`` must live on ``pid == rank``.
+
+Exits nonzero (with a reason on stderr) on any violation.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import sys
 
 # metadata ("ph": "M") events legitimately omit ts/dur
 REQUIRED_FIELDS = ("name", "ph", "pid", "tid")
+
+ROOFLINE_NUMERIC_FIELDS = ("bytes", "flops", "ai", "roof_frac", "bw_frac")
+ROOFLINE_BASES = ("modeled", "wall")
+
+
+def _check_counter(i: int, e: dict, errors: list[str]) -> None:
+    ts = e.get("ts")
+    if not isinstance(ts, (int, float)) or ts < 0:
+        errors.append(f"counter event {i} ({e.get('name')}): bad ts {ts!r}")
+    args = e.get("args")
+    if not isinstance(args, dict) or not args:
+        errors.append(f"counter event {i} ({e.get('name')}): args must be a non-empty dict")
+        return
+    for k, v in args.items():
+        if not isinstance(v, (int, float)) or isinstance(v, bool) or not math.isfinite(v):
+            errors.append(
+                f"counter event {i} ({e.get('name')}): non-numeric series value {k}={v!r}"
+            )
+
+
+def _check_roofline(i: int, e: dict, errors: list[str]) -> None:
+    r = e["args"]["roofline"]
+    if not isinstance(r, dict):
+        errors.append(f"event {i} ({e.get('name')}): roofline arg is not a dict")
+        return
+    for f in ROOFLINE_NUMERIC_FIELDS:
+        v = r.get(f)
+        if not isinstance(v, (int, float)) or isinstance(v, bool) or not math.isfinite(v) or v < 0:
+            errors.append(
+                f"event {i} ({e.get('name')}): roofline field {f!r} bad value {v!r}"
+            )
+    if r.get("basis") not in ROOFLINE_BASES:
+        errors.append(
+            f"event {i} ({e.get('name')}): roofline basis {r.get('basis')!r} "
+            f"not in {ROOFLINE_BASES}"
+        )
 
 
 def check_trace(path: str) -> list[str]:
@@ -52,6 +101,18 @@ def check_trace(path: str) -> list[str]:
                 errors.append(f"event {i} ({e.get('name')}): bad ts {ts!r}")
             if not isinstance(dur, (int, float)) or dur < 0:
                 errors.append(f"event {i} ({e.get('name')}): bad dur {dur!r}")
+            args = e.get("args")
+            if isinstance(args, dict):
+                rank = args.get("rank")
+                if isinstance(rank, int) and not isinstance(rank, bool) and e.get("pid") != rank:
+                    errors.append(
+                        f"event {i} ({e.get('name')}): rank {rank} on pid "
+                        f"{e.get('pid')} -- stitched traces must map rank to pid"
+                    )
+                if "roofline" in args:
+                    _check_roofline(i, e, errors)
+        elif e.get("ph") == "C":
+            _check_counter(i, e, errors)
         if len(errors) >= 20:
             errors.append("... (further errors suppressed)")
             break
