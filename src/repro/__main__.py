@@ -15,6 +15,8 @@ Regenerates the paper's tables/figures without the pytest harness:
     python -m repro chaos       # coarse solve under a fault schedule
     python -m repro verify      # race checks + differential oracle table
     python -m repro tune        # warm the autotuner cache for a mesh
+    python -m repro serve       # resilient async solve service (HTTP)
+    python -m repro serve --check  # the serve chaos acceptance gate
     python -m repro all
 
 ``profile`` runs the coarse Antarctica solve under the observability
@@ -54,6 +56,18 @@ later solve built with ``VelocityConfig(tuned="auto")`` on the same
 (mesh, GPU) pair reuses it with zero trials.  ``--gpu`` picks the
 modeled architecture, ``--budget`` bounds the measured trials,
 ``--force`` retunes through an existing cache entry.
+
+``serve`` starts the resilient asyncio solve service with its stdlib
+HTTP frontend (``POST /solve``, ``GET /healthz``, ``GET /metrics`` in
+OpenMetrics text) -- per-request deadlines, retry with jittered
+backoff, per-scenario circuit breaking, request dedup, and a
+graceful-degradation ladder under queue pressure.  ``--check`` runs
+the deterministic chaos acceptance scenario instead (worker kills with
+checkpoint resume, injected halo/NaN faults, a deadline storm driving
+the breaker through open -> half-open -> closed) and exits nonzero
+unless every completed request is bitwise identical to its fault-free
+reference; ``--disarm-breaker`` is the planted negative control CI
+asserts fails.
 
 ``verify`` runs the correctness-tooling subsystem: the differential
 oracle registry (kernel variants vs reference, SFad vs finite
@@ -507,7 +521,7 @@ def main(argv=None) -> int:
         "artifact",
         choices=[
             "table2", "table3", "table4", "fig3", "fig5",
-            "solve", "profile", "perfdiff", "chaos", "verify", "tune", "all",
+            "solve", "profile", "perfdiff", "chaos", "verify", "tune", "serve", "all",
         ],
     )
     ap.add_argument(
@@ -590,7 +604,28 @@ def main(argv=None) -> int:
     ap.add_argument(
         "--force", action="store_true", help="tune: retune through an existing cache entry"
     )
+    ap.add_argument(
+        "--disarm-breaker", action="store_true",
+        help="serve: disable the circuit breaker (--check negative control)",
+    )
+    ap.add_argument(
+        "--workers", type=int, default=2, help="serve: worker thread count"
+    )
+    ap.add_argument("--host", default="127.0.0.1", help="serve: HTTP bind host")
+    ap.add_argument("--port", type=int, default=8077, help="serve: HTTP bind port")
     args = ap.parse_args(argv)
+    if args.artifact == "serve":
+        from repro.serve.cli import serve as run_serve
+
+        return run_serve(
+            check=args.check,
+            seed=args.seed,
+            disarm_breaker=args.disarm_breaker,
+            openmetrics_out=args.openmetrics,
+            workers=args.workers,
+            host=args.host,
+            port=args.port,
+        )
     if args.artifact == "verify":
         from repro.verify.cli import verify as run_verify
 

@@ -2,10 +2,21 @@
 
 from __future__ import annotations
 
+import dataclasses
 import os
 from dataclasses import dataclass, field
 
-__all__ = ["VelocityConfig", "AntarcticaConfig"]
+__all__ = ["VelocityConfig", "AntarcticaConfig", "PRECONDITIONERS", "PRECOND_COST_ORDER"]
+
+#: every preconditioner factory the velocity solver can build
+PRECONDITIONERS = ("mdsc", "vline", "mdsc-amg", "jacobi", "none")
+
+#: setup+apply cost order, most expensive first -- the serve degradation
+#: ladder steps right through it ("cheaper rung") when the service is
+#: under pressure; "none" is deliberately excluded (an unpreconditioned
+#: solve can cost *more* wall clock in extra GMRES iterations than it
+#: saves in setup, which defeats load shedding)
+PRECOND_COST_ORDER = ("mdsc-amg", "mdsc", "vline", "jacobi")
 
 
 def _default_operator_mode() -> str:
@@ -70,10 +81,29 @@ class VelocityConfig:
     #: ``nparts``) is preserved from this config.
     tuned: str = "off"
 
+    def cheaper_preconditioner(self) -> str | None:
+        """Next cheaper rung on :data:`PRECOND_COST_ORDER`, or ``None``.
+
+        The serve degradation ladder calls this under queue pressure: a
+        request admitted with a cheaper preconditioner rung still
+        completes (degraded convergence beats shedding), and the cached
+        problem artifacts are reused -- only the per-step factory
+        changes.  At the bottom of the ladder (``jacobi``/``none``)
+        there is nothing cheaper, so the caller moves to the next
+        degradation rung (coarser mesh, cached result) instead.
+        """
+        try:
+            i = PRECOND_COST_ORDER.index(self.preconditioner)
+        except ValueError:  # "none": already cheapest possible
+            return None
+        if i + 1 >= len(PRECOND_COST_ORDER):
+            return None
+        return PRECOND_COST_ORDER[i + 1]
+
     def __post_init__(self):
         if self.kernel_impl not in ("baseline", "optimized"):
             raise ValueError(f"unknown kernel impl {self.kernel_impl!r}")
-        if self.preconditioner not in ("mdsc", "vline", "mdsc-amg", "jacobi", "none"):
+        if self.preconditioner not in PRECONDITIONERS:
             raise ValueError(f"unknown preconditioner {self.preconditioner!r}")
         if self.workset_size <= 0 or self.newton_steps <= 0:
             raise ValueError("workset size and Newton steps must be positive")
@@ -123,6 +153,22 @@ class AntarcticaConfig:
             raise ValueError("resolution and layer count must be positive")
         if self.footprint not in ("quad", "voronoi"):
             raise ValueError(f"unknown footprint type {self.footprint!r}")
+
+    def coarsened(self, factor: float = 2.0) -> "AntarcticaConfig":
+        """A cheaper variant of this problem for serve degradation.
+
+        Doubles the footprint spacing (quartering the cell count) and
+        halves the extruded layer count (floor 3 so the vertical
+        structure the FO Stokes physics needs survives).  A degraded
+        request solves this mesh instead of the requested one -- an
+        approximate answer under overload beats a shed request, and the
+        coarse problem's artifacts are cached like any other scenario's.
+        """
+        return dataclasses.replace(
+            self,
+            resolution_km=self.resolution_km * float(factor),
+            num_layers=max(3, self.num_layers // 2),
+        )
 
     @property
     def key(self) -> str:

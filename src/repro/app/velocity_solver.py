@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.app.config import VelocityConfig
+from repro.app.config import PRECONDITIONERS, VelocityConfig
 from repro.fem.assembly import AssemblyPlan
 from repro.fem.discretization import compute_basis_data, compute_face_basis_data
 from repro.fem.distributed import DistributedMatrix, DistributedStokesAssembly
@@ -174,6 +174,8 @@ class StokesVelocityProblem:
         #: per solve by :meth:`solve` (None = fail-fast behavior)
         self._resilience = None
         self._precond_ladder = None
+        #: per-solve preconditioner override (serve degradation rung)
+        self._precond_override = None
 
     def _probe_diag_scale(self) -> float:
         u0 = np.zeros(self.dofmap.num_dofs)
@@ -429,20 +431,24 @@ class StokesVelocityProblem:
 
     # ------------------------------------------------------------------
     def _preconditioner(self, A):
-        cfg = self.config
-        if cfg.preconditioner == "none":
+        # per-solve degradation override (serve load shedding): a cheaper
+        # rung replaces the configured factory without rebuilding the
+        # problem (the cached AssemblyPlan/mesh artifacts are the
+        # expensive part; the preconditioner is rebuilt per step anyway)
+        kind = self._precond_override or self.config.preconditioner
+        if kind == "none":
             return None
-        with get_tracer().span("precond.setup", kind=cfg.preconditioner):
+        with get_tracer().span("precond.setup", kind=kind):
             if self._resilience is None:
-                return self._build_preconditioner(A)
+                return self._build_preconditioner(A, kind=kind)
             # recovery ladder: configured factory -> Jacobi -> none.  A
             # failing MDSC setup degrades convergence instead of killing
             # the solve; every fallback is logged by the ladder.
             if self._precond_ladder is None:
                 rungs: list[tuple[str, object]] = [
-                    (cfg.preconditioner, self._build_preconditioner)
+                    (kind, lambda M, k=kind: self._build_preconditioner(M, kind=k))
                 ]
-                if cfg.preconditioner != "jacobi":
+                if kind != "jacobi":
                     rungs.append(
                         ("jacobi", lambda M: self._build_preconditioner(M, kind="jacobi"))
                     )
@@ -516,7 +522,10 @@ class StokesVelocityProblem:
         callback=None,
         resilience=None,
         checkpoint_every: int | None = None,
+        checkpoint_cb=None,
         resume_from=None,
+        deadline=None,
+        preconditioner: str | None = None,
     ) -> VelocitySolution:
         """Run the damped Newton solve and report diagnostics.
 
@@ -537,18 +546,33 @@ class StokesVelocityProblem:
         the plane's policy is used automatically so chaos runs recover
         by default.  The event record lands in
         ``diagnostics["resilience"]``.  ``checkpoint_every`` /
-        ``resume_from`` pass through to :func:`newton_solve` for
-        checkpoint/restart of the Newton state.
+        ``checkpoint_cb`` / ``resume_from`` pass through to
+        :func:`newton_solve` for checkpoint/restart of the Newton state
+        (``checkpoint_cb`` is how a serve worker pool heartbeats and
+        snapshots in-flight jobs).
+
+        Service knobs: ``deadline`` (a :class:`repro.resilience.
+        Deadline`) makes the solve cooperatively abandon work past its
+        wall-clock budget with a typed ``SolveTimeout`` carrying the
+        last checkpoint; ``preconditioner`` overrides the configured
+        factory for this solve only (the serve degradation ladder drops
+        to a cheaper rung under load without rebuilding the problem).
         """
         cfg = self.config
         if u0 is None:
             u0 = np.zeros(self.dofmap.num_dofs)
+        if preconditioner is not None and preconditioner not in PRECONDITIONERS:
+            raise ValueError(
+                f"unknown preconditioner override {preconditioner!r}; "
+                f"have {PRECONDITIONERS}"
+            )
 
         plane = fault_plane()
         if resilience is None and plane.active:
             resilience = plane.policy
         self._resilience = resilience
         self._precond_ladder = None
+        self._precond_override = preconditioner
         self._dead_ranks = set()
 
         # per-solve lifecycle for BOTH phase times and sweep counts: two
@@ -588,7 +612,9 @@ class StokesVelocityProblem:
                 reducer=self.reducer,
                 resilience=resilience,
                 checkpoint_every=checkpoint_every,
+                checkpoint_cb=checkpoint_cb,
                 resume_from=resume_from,
+                deadline=deadline,
             )
         solve_seconds = solve_span.dur_s
         u = newton.x
@@ -612,7 +638,9 @@ class StokesVelocityProblem:
             # autotuner provenance: "off" is a hand-picked config; "auto"
             # means the axes above came from the tune cache / online search
             "tuned": cfg.tuned,
-            "preconditioner": cfg.preconditioner,
+            # the preconditioner actually used this solve (a serve
+            # degradation override wins over the configured factory)
+            "preconditioner": preconditioner or cfg.preconditioner,
             "gmres_restart": cfg.gmres_restart,
             "solve_seconds": solve_seconds,
             "newton_steps_per_s": newton.iterations / solve_seconds if solve_seconds > 0 else 0.0,
@@ -631,9 +659,9 @@ class StokesVelocityProblem:
             # one merged event record: the policy's log plus (when the
             # plane was armed with a different log) the injection log
             merged = ResilienceLog()
-            merged.events.extend(resilience.log.events)
+            merged.extend(resilience.log.events)
             if plane.active and plane.log is not resilience.log:
-                merged.events.extend(plane.log.events)
+                merged.extend(plane.log.events)
             rsum = merged.summary()
             if plane.active:
                 rsum["schedule"] = plane.schedule.describe()

@@ -101,13 +101,32 @@ def render(metrics_snapshot: dict | None = None, series_registry=None) -> str:
         lines.append(f"{m}_count {_fmt_value(s.get('count', 0))}")
 
     if series_registry is not None:
+        # one family per sanitized NAME, not per (name, labelset): the
+        # registry keeps a distinct TimeSeries per labelset (e.g.
+        # gmres.residual mode=assembled vs mode=distributed), and the
+        # spec allows at most one TYPE line per family.  Families the
+        # metrics snapshot already typed as gauge are merged into it
+        # (series samples always carry the i label, so no collision);
+        # a clash with a counter/summary family gets a _series suffix.
+        typed_gauges = {sanitize_name(n) for n in snap.get("gauges", {})}
+        typed_other = {sanitize_name(n) for n in snap.get("counters", {})}
+        typed_other |= {sanitize_name(n) for n in snap.get("histograms", {})}
+        by_family: dict[str, list] = {}
         for ts in series_registry.all():
             m = sanitize_name(ts.name)
-            lines.append(f"# TYPE {m} gauge")
-            for i, (_ts_us, t_unix, value) in enumerate(ts.points):
-                labels = dict(ts.labels)
-                labels["i"] = i
-                lines.append(f"{m}{_fmt_labels(labels)} {_fmt_value(value)} {t_unix:.6f}")
+            if m in typed_other:
+                m += "_series"
+            by_family.setdefault(m, []).append(ts)
+        for m in sorted(by_family):
+            if m not in typed_gauges:
+                lines.append(f"# TYPE {m} gauge")
+            for ts in by_family[m]:
+                for i, (_ts_us, t_unix, value) in enumerate(ts.points):
+                    labels = dict(ts.labels)
+                    labels["i"] = i
+                    lines.append(
+                        f"{m}{_fmt_labels(labels)} {_fmt_value(value)} {t_unix:.6f}"
+                    )
 
     lines.append("# EOF")
     return "\n".join(lines) + "\n"

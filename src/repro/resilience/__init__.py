@@ -35,6 +35,7 @@ or from the command line: ``python -m repro chaos``.
 from __future__ import annotations
 
 from repro.resilience.checkpoint import NewtonCheckpoint
+from repro.resilience.deadline import Deadline, SolveTimeout
 from repro.resilience.detectors import (
     GMRES_FLAGS,
     check_finite,
@@ -72,6 +73,8 @@ from repro.resilience.policies import (
 
 __all__ = [
     "NewtonCheckpoint",
+    "Deadline",
+    "SolveTimeout",
     "GMRES_FLAGS",
     "check_finite",
     "classify_gmres",

@@ -30,7 +30,9 @@ statistics ride the normal observability snapshot.
 
 from __future__ import annotations
 
+import random
 import time
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.observability import get_metrics, get_series, get_tracer
@@ -51,18 +53,39 @@ class ResilienceLog:
     registry (``resilience.<category>`` and ``resilience.<category>.
     <kind>`` counters), so ``diagnostics["observability"]`` and
     ``diagnostics["resilience"]`` stay consistent with each other.
+
+    ``max_events`` bounds the retained event list as a ring buffer: a
+    long-running solve *service* records events indefinitely, and an
+    unbounded list is a slow memory leak.  When bounded, the oldest
+    events are evicted; the per-(category, kind) counts -- and the
+    mirrored metrics counters -- stay exact regardless, and
+    :meth:`summary` carries an ``events_dropped`` truncation marker so
+    a reader can tell a complete history from a windowed one.
     """
 
     CATEGORIES = ("injection", "detection", "recovery")
 
-    def __init__(self):
-        self.events: list[dict] = []
+    def __init__(self, max_events: int | None = None):
+        if max_events is not None and max_events <= 0:
+            raise ValueError("max_events must be positive (or None for unbounded)")
+        self.max_events = max_events
+        self.events: deque[dict] = deque(maxlen=max_events)
+        #: events evicted from the ring buffer (0 when unbounded)
+        self.dropped = 0
+        #: exact counts, immune to ring-buffer eviction
+        self._counts: dict[tuple[str, str], int] = {}
+        self._total = 0
 
     def record(self, category: str, kind: str, site: str, **detail) -> dict:
         if category not in self.CATEGORIES:
             raise ValueError(f"unknown event category {category!r}")
         event = {"category": category, "kind": kind, "site": site, **detail}
+        if self.max_events is not None and len(self.events) == self.max_events:
+            self.dropped += 1
         self.events.append(event)
+        self._total += 1
+        key = (category, kind)
+        self._counts[key] = self._counts.get(key, 0) + 1
         metrics = get_metrics()
         metrics.counter(f"resilience.{category}").inc()
         metrics.counter(f"resilience.{category}.{kind}").inc()
@@ -70,29 +93,51 @@ class ResilienceLog:
         # the convergence plots show *when* the ladder fired, not just
         # how often (the value is the running event count)
         get_series().record(
-            "resilience.event", len(self.events), category=category, kind=kind
+            "resilience.event", self._total, category=category, kind=kind
         )
         return event
 
+    def extend(self, events) -> None:
+        """Merge already-recorded events from another log.
+
+        Keeps the exact counts consistent with the event window but does
+        NOT re-mirror into the metrics registry -- the source log already
+        did that when each event was first recorded (re-counting would
+        double every ``resilience.*`` counter).
+        """
+        for event in events:
+            if self.max_events is not None and len(self.events) == self.max_events:
+                self.dropped += 1
+            self.events.append(event)
+            self._total += 1
+            key = (event["category"], event["kind"])
+            self._counts[key] = self._counts.get(key, 0) + 1
+
     def count(self, category: str, kind: str | None = None) -> int:
+        """Exact event count (unaffected by ring-buffer truncation)."""
         return sum(
-            1
-            for e in self.events
-            if e["category"] == category and (kind is None or e["kind"] == kind)
+            n
+            for (c, k), n in self._counts.items()
+            if c == category and (kind is None or k == kind)
         )
 
     def summary(self) -> dict:
-        """JSON-able chaos-run statistics: totals, per-kind counts, events."""
+        """JSON-able chaos-run statistics: totals, per-kind counts, events.
+
+        Counts are exact; ``events`` is the retained window (the full
+        history when unbounded).  ``events_dropped > 0`` marks a
+        truncated window.
+        """
         by_kind: dict[str, dict[str, int]] = {c: {} for c in self.CATEGORIES}
-        for e in self.events:
-            d = by_kind[e["category"]]
-            d[e["kind"]] = d.get(e["kind"], 0) + 1
+        for (c, k), n in sorted(self._counts.items()):
+            by_kind[c][k] = n
         return {
             "injections": self.count("injection"),
             "detections": self.count("detection"),
             "recoveries": self.count("recovery"),
             "by_kind": by_kind,
             "events": list(self.events),
+            "events_dropped": self.dropped,
         }
 
 
@@ -111,6 +156,17 @@ class RecoveryPolicy:
     #: base sleep between retries; doubled per attempt (0 keeps tests fast
     #: while still exercising and logging the backoff arithmetic)
     backoff_s: float = 0.0
+    #: jitter fraction in [0, 1): each backoff delay is scaled by a
+    #: deterministic factor in ``[1 - j, 1 + j)`` seeded by
+    #: ``(jitter_seed, attempt)``.  Pure exponential backoff (the 0.0
+    #: default) synchronizes N workers that failed together -- they all
+    #: sleep the same delay and retry in one thundering herd against the
+    #: same rung; distinct per-worker ``jitter_seed`` values de-phase
+    #: the herd while each worker's sequence stays reproducible.
+    backoff_jitter: float = 0.0
+    #: seed of the deterministic jitter stream (a service assigns each
+    #: worker/request its own so retry storms decorrelate)
+    jitter_seed: int = 0
     #: full re-evaluations of a non-finite residual/Jacobian sweep
     max_reevaluations: int = 2
     #: rejected attempts per Newton step before giving up
@@ -126,8 +182,23 @@ class RecoveryPolicy:
     log: ResilienceLog = field(default_factory=ResilienceLog)
 
     def backoff(self, attempt: int) -> float:
-        """Exponential backoff delay before retry ``attempt`` (1-based)."""
-        return self.backoff_s * (2.0 ** max(0, attempt - 1))
+        """Exponential backoff delay before retry ``attempt`` (1-based).
+
+        With ``backoff_jitter > 0`` the delay is scaled by a factor in
+        ``[1 - jitter, 1 + jitter)`` drawn from a *stateless* seeded
+        stream: the factor is a pure function of ``(jitter_seed,
+        attempt)``, so repeated calls for the same attempt return the
+        same delay (``retry_with_backoff`` logs the delay it waited by
+        re-evaluating it) and the whole sequence is reproducible per
+        seed.
+        """
+        delay = self.backoff_s * (2.0 ** max(0, attempt - 1))
+        if self.backoff_jitter > 0.0 and delay > 0.0:
+            # stateless per-attempt draw: no shared RNG object to race
+            # on or to advance differently between runs
+            u = random.Random(int(self.jitter_seed) * 1_000_003 + int(attempt)).random()
+            delay *= 1.0 + self.backoff_jitter * (2.0 * u - 1.0)
+        return delay
 
 
 def retry_with_backoff(

@@ -1,0 +1,58 @@
+"""CLI entry for ``python -m repro serve``.
+
+Two modes:
+
+* ``--check`` -- run the deterministic chaos acceptance scenario
+  (:func:`repro.serve.chaos.run_chaos_check`) and exit 0/1: the CI
+  gate.  ``--disarm-breaker`` is the planted negative control (the
+  check MUST fail), ``--openmetrics PATH`` dumps the run's metrics.
+* default -- start the service with an HTTP frontend and serve until
+  interrupted; try::
+
+      curl -s localhost:8077/healthz
+      curl -s -X POST localhost:8077/solve \\
+           -d '{"name": "demo", "resolution_km": 600, "num_layers": 3}'
+      curl -s localhost:8077/metrics
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+__all__ = ["serve"]
+
+
+def serve(
+    check: bool = False,
+    seed: int = 2024,
+    disarm_breaker: bool = False,
+    openmetrics_out: str | None = None,
+    workers: int = 2,
+    host: str = "127.0.0.1",
+    port: int = 8077,
+) -> int:
+    from repro.serve.chaos import run_chaos_check
+
+    if check:
+        return run_chaos_check(
+            seed=seed,
+            disarm_breaker=disarm_breaker,
+            openmetrics_out=openmetrics_out,
+            workers=workers,
+        )
+
+    from repro.serve.http import serve_http
+    from repro.serve.service import SolveService
+
+    async def main() -> int:
+        service = SolveService(workers=workers, breaker_enabled=not disarm_breaker)
+        async with service:
+            print(f"solve service on http://{host}:{port} "
+                  f"({workers} workers; endpoints: /healthz /metrics /solve)")
+            await serve_http(service, host=host, port=port)
+        return 0
+
+    try:
+        return asyncio.run(main())
+    except KeyboardInterrupt:
+        return 0

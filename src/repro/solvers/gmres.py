@@ -112,6 +112,7 @@ def gmres(
     norm=None,
     orth: str = "mgs",
     dot_many=None,
+    deadline=None,
 ) -> GmresResult:
     """Solve ``A x = b`` with restarted right-preconditioned GMRES.
 
@@ -146,6 +147,13 @@ def gmres(
         the fused path (e.g. :meth:`repro.solvers.reductions.
         BlockReducer.dot_many`); defaults to a single BLAS-2 product
         when ``dot`` is the numpy default.
+    deadline:
+        Optional :class:`repro.resilience.Deadline`.  Checked at every
+        cycle start and inner iteration; expiry raises a typed
+        :class:`repro.resilience.SolveTimeout` (the caller -- usually
+        ``newton_solve`` -- attaches its last checkpoint).  Checks only
+        read the clock, so a solve that finishes within budget is
+        bitwise equal to one run without a deadline.
     """
     if orth not in ("mgs", "fused"):
         raise ValueError(f"unknown orthogonalization {orth!r}; have: mgs, fused")
@@ -225,6 +233,8 @@ def gmres(
         m = min(restart, maxiter - nmv - 1)
         if m <= 0:
             break
+        if deadline is not None:
+            deadline.check(f"gmres cycle {cycle}")
         rnorm_cycle_start = rnorm
         nmv_cycle0, stream_cycle0, flops_cycle0 = nmv, stream_bytes, stream_flops
         with tr.span("gmres.cycle", cycle=cycle, krylov_dim=m) as cycle_span:
@@ -239,6 +249,8 @@ def gmres(
 
             k_used = 0
             for k in range(m):
+                if deadline is not None:
+                    deadline.check(f"gmres cycle {cycle} it {total_it}")
                 with tr.span("gmres.iteration", it=total_it):
                     Z[k] = precond(V[k])
                     w = matvec(Z[k])

@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.observability import get_metrics, get_series, get_tracer
 from repro.resilience.checkpoint import NewtonCheckpoint
+from repro.resilience.deadline import SolveTimeout
 from repro.resilience.detectors import nonfinite_count
 from repro.solvers.gmres import gmres
 from repro.verify.sanitizer import sanitizer
@@ -135,6 +136,7 @@ def newton_solve(
     checkpoint_every: int | None = None,
     checkpoint_cb=None,
     resume_from: NewtonCheckpoint | None = None,
+    deadline=None,
 ) -> NewtonResult:
     """Solve ``F(x) = 0`` by damped Newton.
 
@@ -180,6 +182,16 @@ def newton_solve(
     resume_from:
         A :class:`NewtonCheckpoint` to restart from: the loop re-enters
         at the checkpointed step with the saved iterate and histories.
+    deadline:
+        Optional :class:`repro.resilience.Deadline` -- the cooperative
+        wall-clock budget of a served request.  Checked at every step
+        attempt, line-search trial and (propagated) GMRES iteration;
+        expiry raises a typed :class:`repro.resilience.SolveTimeout`
+        carrying the last completed checkpoint, so the caller can serve
+        a partial result or resume later (``resume_from=exc.checkpoint``
+        continues bitwise-identically).  A budget that expires before
+        the first step completes raises with ``checkpoint=None`` --
+        an immediate typed timeout, never partial garbage.
     """
     if residual_jacobian_fn is None and jacobian_fn is None:
         raise ValueError("either jacobian_fn or residual_jacobian_fn is required")
@@ -223,12 +235,22 @@ def newton_solve(
         phases["evaluate"] += sp.dur_s
         return f_new, J_new
 
+    def _check_deadline(phase: str) -> None:
+        # cooperative budget check: reads the clock and branches only,
+        # so within-budget trajectories are bitwise-deadline-free.  The
+        # raised SolveTimeout carries the last completed checkpoint
+        # (None before the first one: immediate timeout, no partial
+        # garbage).
+        if deadline is not None:
+            deadline.check(phase, checkpoint=res.checkpoint)
+
     # initial evaluation: the fused path gets the step-0 Jacobian for
     # free (the residual is the value component of the same SFad sweep),
     # so a full solve performs exactly one DAG sweep per accepted step
     # plus one residual-only sweep per line-search trial.  A resumed
     # solve re-evaluates at the checkpointed iterate (same sweep shape).
     what0 = "initial" if resume_from is None else "resume"
+    _check_deadline(f"newton.{what0}")
     f, J_next = evaluate_full(what0)
     attempts = 0
     while not (np.all(np.isfinite(f)) and _jacobian_finite(J_next)):
@@ -265,6 +287,7 @@ def newton_solve(
             alpha_cap = 1.0
             rejections = 0
             while True:  # step-attempt loop: rejected attempts retry here
+                _check_deadline(f"newton.step {step}")
                 with tr.span("newton.evaluate", step=step) as sp:
                     if J_next is not None:
                         J, J_next = J_next, None
@@ -323,19 +346,28 @@ def newton_solve(
                 restart_eff, maxiter_eff = gmres_restart, gmres_maxiter
                 escalations = 0
                 while True:
-                    with tr.span("gmres.solve", step=step) as sp:
-                        lin = gmres(
-                            J,
-                            -f,
-                            tol=linear_tol,
-                            restart=restart_eff,
-                            maxiter=maxiter_eff,
-                            M=M,
-                            dot=gmres_dot,
-                            norm=gmres_norm,
-                            orth=gmres_orth,
-                            dot_many=gmres_dot_many,
-                        )
+                    try:
+                        with tr.span("gmres.solve", step=step) as sp:
+                            lin = gmres(
+                                J,
+                                -f,
+                                tol=linear_tol,
+                                restart=restart_eff,
+                                maxiter=maxiter_eff,
+                                M=M,
+                                dot=gmres_dot,
+                                norm=gmres_norm,
+                                orth=gmres_orth,
+                                dot_many=gmres_dot_many,
+                                deadline=deadline,
+                            )
+                    except SolveTimeout as exc:
+                        # GMRES raises bare (it has no Newton state);
+                        # attach the last completed checkpoint here so
+                        # the service can serve/resume the partial result
+                        if exc.checkpoint is None:
+                            exc.checkpoint = res.checkpoint
+                        raise
                     phases["gmres"] += sp.dur_s
                     dx = lin.x
                     if not np.all(np.isfinite(dx)):
@@ -381,6 +413,7 @@ def newton_solve(
                 nonfinite_trials = 0
                 with tr.span("newton.line_search", step=step):
                     while True:
+                        _check_deadline(f"newton.line_search step {step}")
                         x_trial = x + alpha * dx
                         with tr.span("newton.evaluate", what="line_search") as sp:
                             f_trial = residual_fn(x_trial)

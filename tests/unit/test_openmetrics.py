@@ -110,3 +110,39 @@ class TestWriteOpenmetrics:
         path = write_openmetrics(tmp_path / "m.om", _snapshot(), _series())
         families = parse_exposition(path.read_text())
         assert "newton_steps" in families and "gmres_residual" in families
+
+
+class TestSeriesFamilies:
+    def test_one_type_line_per_family_across_labelsets(self):
+        # one registry NAME can hold many TimeSeries (one per labelset);
+        # render must emit exactly one TYPE line per family or the
+        # validator rejects its own output (the serve --check regression)
+        reg = SeriesRegistry()
+        reg.record("gmres.residual", 3.0, mode="assembled")
+        reg.record("gmres.residual", 2.0, mode="matrix_free")
+        reg.record("gmres.residual", 1.0, mode="assembled")
+        text = render(None, reg)
+        assert text.count("# TYPE gmres_residual gauge") == 1
+        families = parse_exposition(text)
+        assert len(families["gmres_residual"]["samples"]) == 3
+
+    def test_series_name_clashing_with_counter_gets_suffixed(self):
+        m = MetricsRegistry()
+        m.counter("solve.count").inc(2)
+        reg = SeriesRegistry()
+        reg.record("solve.count", 1.0, phase="warm")
+        text = render(m.snapshot(), reg)
+        families = parse_exposition(text)
+        assert families["solve_count"]["type"] == "counter"
+        assert "solve_count_series" in families
+
+    def test_series_merging_into_typed_gauge_family(self):
+        m = MetricsRegistry()
+        m.gauge("queue.depth").set(4)
+        reg = SeriesRegistry()
+        reg.record("queue.depth", 3.0, worker="w1")
+        text = render(m.snapshot(), reg)
+        assert text.count("# TYPE queue_depth gauge") == 1
+        families = parse_exposition(text)
+        # the plain gauge sample and the labelled series samples coexist
+        assert len(families["queue_depth"]["samples"]) == 2

@@ -542,3 +542,75 @@ class TestLaunchSites:
             profile = sim.run("optimized-residual", ProblemSize(num_cells=1000))
         assert profile.time_s > 0.0
         assert policy.log.count("recovery", "launch_retry") == 1
+
+
+# ---------------------------------------------------------------------------
+# seeded backoff jitter + bounded event log (service-facing policy knobs)
+# ---------------------------------------------------------------------------
+
+
+class TestSeededJitter:
+    def test_default_policy_is_pure_exponential(self):
+        p = res.RecoveryPolicy(backoff_s=0.5)
+        assert [p.backoff(i) for i in (1, 2, 3)] == [0.5, 1.0, 2.0]
+
+    def test_same_seed_reproduces_exact_delays(self):
+        a = res.RecoveryPolicy(backoff_s=0.5, backoff_jitter=0.3, jitter_seed=7)
+        b = res.RecoveryPolicy(backoff_s=0.5, backoff_jitter=0.3, jitter_seed=7)
+        delays = [a.backoff(i) for i in range(1, 6)]
+        assert delays == [b.backoff(i) for i in range(1, 6)]
+        # repeated calls for the SAME attempt are stable too -- the
+        # jitter is a pure function of (seed, attempt), no hidden state
+        assert a.backoff(3) == delays[2]
+
+    def test_different_seeds_decorrelate(self):
+        a = res.RecoveryPolicy(backoff_s=0.5, backoff_jitter=0.3, jitter_seed=7)
+        b = res.RecoveryPolicy(backoff_s=0.5, backoff_jitter=0.3, jitter_seed=8)
+        assert [a.backoff(i) for i in range(1, 6)] != [b.backoff(i) for i in range(1, 6)]
+
+    def test_jitter_stays_within_band_around_exponential(self):
+        p = res.RecoveryPolicy(backoff_s=0.5, backoff_jitter=0.25, jitter_seed=3)
+        for attempt in range(1, 10):
+            base = 0.5 * 2.0 ** (attempt - 1)
+            d = p.backoff(attempt)
+            assert 0.75 * base <= d <= 1.25 * base
+            assert d != base  # jitter actually applied
+
+
+class TestBoundedResilienceLog:
+    def test_unbounded_by_default(self):
+        log = res.ResilienceLog()
+        for i in range(100):
+            log.record("detection", "kind", "site", i=i)
+        assert len(log.events) == 100
+        assert log.dropped == 0
+
+    def test_ring_buffer_drops_oldest_but_counts_stay_exact(self):
+        log = res.ResilienceLog(max_events=5)
+        for i in range(12):
+            log.record("detection", "kind", "site", i=i)
+        log.record("recovery", "mend", "site")
+        assert len(log.events) == 5
+        assert log.dropped == 8
+        # the window holds the NEWEST events
+        assert [e.get("i") for e in log.events] == [8, 9, 10, 11, None]
+        # counters are exact despite truncation
+        assert log.count("detection") == 12
+        assert log.count("recovery") == 1
+        s = log.summary()
+        assert s["detections"] == 12
+        assert s["events_dropped"] == 8
+
+    def test_extend_merges_without_double_counting(self):
+        src = res.ResilienceLog()
+        src.record("injection", "bitflip", "halo.payload")
+        src.record("detection", "halo_checksum_mismatch", "halo.payload")
+        dst = res.ResilienceLog(max_events=1)
+        dst.record("recovery", "halo_refetch", "halo.payload")
+        dst.extend(src.events)
+        assert dst.count("injection") == 1
+        assert dst.count("detection") == 1
+        assert dst.count("recovery") == 1
+        assert len(dst.events) == 1  # ring kept the newest only
+        assert dst.dropped == 2
+        assert dst.summary()["events_dropped"] == 2
