@@ -1,70 +1,94 @@
-"""Transient coupling: velocity solve + thickness evolution (Eq. 2).
+"""Transient coupling on the scenario engine (velocity + Eq. 2).
 
-MALI couples the FO Stokes velocity solver to a mass-conservation
-equation for the ice thickness.  This example closes that loop on the
-synthetic Antarctica: solve velocities, depth-average them per column,
-advect the thickness with the upwind FV scheme, and repeat -- reporting
-ice volume and the velocity response over a few coupling steps.
+MALI advances the ice sheet by alternating a diagnostic FO Stokes solve
+with a prognostic thickness update.  This example runs that loop through
+:class:`repro.transient.TransientEngine` -- the engine re-extrudes only
+the vertical coordinate each step (every topology-derived artifact is
+reused), warm-starts each Newton solve from the previous velocity, caps
+the step at the CFL bound, and advects a Lagrangian particle ensemble
+through the evolving velocity field.
 
-Run:  python examples/transient_ice_sheet.py [--steps 3] [--dt-years 20]
+Run:  python examples/transient_ice_sheet.py [--scenario antarctica-retreat]
+      python examples/transient_ice_sheet.py --list
 """
 
 import argparse
 
 import numpy as np
 
-from repro.app import AntarcticaConfig, AntarcticaTest, VelocityConfig
-from repro.physics import ThicknessEvolver
-
-
-def depth_averaged_cell_velocity(test, u):
-    """Depth-averaged velocity per footprint element from nodal dofs."""
-    mesh = test.mesh
-    nodal = test.problem.dofmap.nodal_view(u)  # (nn3, 2)
-    # average over a column: node (n2d, lev) = n2d * levels + lev
-    col_avg = nodal.reshape(mesh.footprint.num_nodes, mesh.levels, 2).mean(axis=1)
-    # then average the footprint element's nodes
-    return col_avg[mesh.footprint.elems].mean(axis=1)  # (ne2, 2)
+from repro.transient import SCENARIOS, TransientEngine, get_scenario
 
 
 def main() -> None:
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--steps", type=int, default=3)
-    ap.add_argument("--dt-years", type=float, default=20.0)
-    ap.add_argument("--smb", type=float, default=0.1, help="surface mass balance [m/yr]")
+    ap.add_argument(
+        "--scenario",
+        default="antarctica-retreat",
+        help="library scenario name (see --list)",
+    )
+    ap.add_argument("--steps", type=int, default=None, help="override the step count")
+    ap.add_argument("--list", action="store_true", help="list library scenarios")
     args = ap.parse_args()
 
-    config = AntarcticaConfig(
-        resolution_km=300.0,
-        num_layers=5,
-        velocity=VelocityConfig(newton_steps=6),
+    if args.list:
+        for name, sc in sorted(SCENARIOS.items()):
+            print(f"{name:20s} {sc.description.splitlines()[0]}")
+        return
+
+    scenario = get_scenario(args.scenario)
+    if args.steps is not None:
+        scenario = scenario.with_steps(args.steps)
+
+    engine = TransientEngine(scenario)
+    print(
+        f"scenario {scenario.name!r}: {scenario.num_steps} steps of "
+        f"<= {scenario.dt_years:g} yr on the {scenario.family} family "
+        f"({engine.footprint.num_elems} columns, {engine.mesh.nlayers} layers), "
+        f"forcing = {scenario.forcing}"
     )
-    test = AntarcticaTest.build(config)
-    fp = test.mesh.footprint
-    evolver = ThicknessEvolver(fp)
 
-    # cell-centered thickness from the geometry
-    centers = fp.elem_centers()
-    h = np.asarray(test.geometry.thickness(centers[:, 0], centers[:, 1]), dtype=float)
-    vol0 = evolver.total_volume(h)
-    print(f"initial ice volume: {vol0 / 1e9:.1f} km^3 over {fp.num_elems} columns")
-
-    u = None
-    for step in range(args.steps):
-        sol = test.problem.solve(u0=u)
-        u = sol.u
-        v_cell = depth_averaged_cell_velocity(test, u)
-        dt_max = evolver.max_stable_dt(v_cell)
-        dt = min(args.dt_years, 0.9 * dt_max)
-        h = evolver.step(h, v_cell, dt, smb=args.smb)
-        vol = evolver.total_volume(h)
+    def report(step, info):
         print(
-            f"step {step + 1}: mean |u| = {sol.mean_velocity:7.3f} m/yr, "
-            f"dt = {dt:6.1f} yr (CFL max {dt_max:7.1f}), "
-            f"volume = {vol / 1e9:.1f} km^3 ({(vol - vol0) / vol0:+.3%})"
+            f"  step {step + 1:3d}: t = {info['t_years']:7.1f} yr  "
+            f"dt = {info['dt']:6.1f}  newton = {info['newton_iterations']}"
+            f"{' warm' if info['warm_started'] else ' COLD'}  "
+            f"volume = {info['volume'] / 1e9:.1f} km^3  "
+            f"particles = {info['active_particles']}"
         )
 
-    print("done: the velocity-thickness loop is stable and mass change tracks SMB minus outflow")
+    result = engine.run(callback=report)
+
+    v0, v1 = result.volumes[0], result.volumes[-1]
+    print(
+        f"\nvolume: {v0 / 1e9:.1f} -> {v1 / 1e9:.1f} km^3 "
+        f"({(v1 - v0) / v0:+.3%}); budget residual "
+        f"{result.diagnostics['volume_budget_residual'] / 1e9:+.3e} km^3"
+    )
+    print(
+        f"newton: cold start {result.cold_iterations} iterations, warm mean "
+        f"{result.warm_mean_iterations:.2f} (tol_abs {result.tol_abs:.3e})"
+    )
+    drift = np.hypot(
+        *(result.particles.xy - ParticleStart(engine, scenario).xy).T
+    )
+    print(
+        f"particles: {result.particles.num_active}/{len(result.particles)} active, "
+        f"mean drift {drift.mean() / 1e3:.2f} km, max {drift.max() / 1e3:.2f} km"
+    )
+
+
+class ParticleStart:
+    """Reconstruct the deterministic seed positions for drift reporting."""
+
+    def __init__(self, engine, scenario):
+        from repro.transient import ParticleSet
+
+        self.xy = ParticleSet.seed(
+            engine.footprint,
+            engine.initial_thickness(),
+            scenario.num_particles,
+            seed=scenario.particle_seed,
+        ).xy
 
 
 if __name__ == "__main__":

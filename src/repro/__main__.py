@@ -17,6 +17,8 @@ Regenerates the paper's tables/figures without the pytest harness:
     python -m repro tune        # warm the autotuner cache for a mesh
     python -m repro serve       # resilient async solve service (HTTP)
     python -m repro serve --check  # the serve chaos acceptance gate
+    python -m repro transient <scenario>  # coupled thickness/velocity run
+    python -m repro transient --check     # the transient acceptance gate
     python -m repro all
 
 ``profile`` runs the coarse Antarctica solve under the observability
@@ -516,6 +518,13 @@ def tune(
 
 
 def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv[:1] == ["transient"]:
+        # the transient runner owns its flag set (scenario names, resume
+        # paths, kill scripting); delegate before the artifact parser
+        from repro.transient.cli import main as transient_main
+
+        return transient_main(argv[1:])
     ap = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
     ap.add_argument(
         "artifact",

@@ -19,7 +19,7 @@ import numpy as np
 from repro.app.config import AntarcticaConfig
 from repro.app.velocity_solver import StokesVelocityProblem, VelocitySolution
 from repro.mesh.extrude import ExtrudedMesh, extrude_footprint
-from repro.mesh.geometry import IceGeometry, antarctica_geometry
+from repro.mesh.geometry import IceGeometry, antarctica_geometry, greenland_geometry
 from repro.mesh.planar import masked_quad_footprint
 
 __all__ = ["AntarcticaTest", "run_antarctica_test", "REFERENCE_FILE"]
@@ -39,7 +39,10 @@ class AntarcticaTest:
     @classmethod
     def build(cls, config: AntarcticaConfig | None = None) -> "AntarcticaTest":
         config = config or AntarcticaConfig()
-        geometry = antarctica_geometry(config.resolution_km)
+        if config.family == "greenland":
+            geometry = greenland_geometry()
+        else:
+            geometry = antarctica_geometry(config.resolution_km)
         res_m = config.resolution_km * 1.0e3
         if config.footprint == "voronoi":
             # MALI's meshing path: MPAS Voronoi mesh -> dual triangulation

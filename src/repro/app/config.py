@@ -135,6 +135,11 @@ class AntarcticaConfig:
 
     resolution_km: float = 64.0
     num_layers: int = 20
+    #: which synthetic ice sheet to build: "antarctica" (the paper's
+    #: Section III-B test, the default everywhere) or "greenland"
+    #: (elongated single dome -- MALI's other flagship configuration,
+    #: used by the transient forcing-ramp scenario)
+    family: str = "antarctica"
     #: default_factory, not a shared instance: ``VelocityConfig()`` as a
     #: class-level default would be evaluated once at import time, which
     #: freezes environment-derived defaults (``REPRO_OPERATOR_MODE``) as
@@ -153,6 +158,8 @@ class AntarcticaConfig:
             raise ValueError("resolution and layer count must be positive")
         if self.footprint not in ("quad", "voronoi"):
             raise ValueError(f"unknown footprint type {self.footprint!r}")
+        if self.family not in ("antarctica", "greenland"):
+            raise ValueError(f"unknown ice-sheet family {self.family!r}")
 
     def coarsened(self, factor: float = 2.0) -> "AntarcticaConfig":
         """A cheaper variant of this problem for serve degradation.
@@ -175,6 +182,6 @@ class AntarcticaConfig:
         """Reference-table key for the regression check."""
         fp = "" if self.footprint == "quad" else f"_{self.footprint}"
         return (
-            f"antarctica_res{self.resolution_km:g}km_nz{self.num_layers}"
+            f"{self.family}_res{self.resolution_km:g}km_nz{self.num_layers}"
             f"_{self.velocity.kernel_impl}{fp}"
         )

@@ -81,22 +81,24 @@ class StokesVelocityProblem:
         fp = mesh.footprint
         order = cfg.quadrature_order
 
-        self.basis = compute_basis_data(mesh.coords, mesh.elems, mesh.elem_type, order)
         self.dofmap = DofMap(mesh.num_nodes, 2, mesh.elems)
 
-        # surface gradient at footprint quadrature points, replicated to
-        # the 3-D rule: hex qp q maps to footprint qp q // order (tensor
-        # ordering has the vertical coordinate fastest)
-        fp_basis = compute_basis_data(fp.coords, fp.elems, fp.elem_type, order)
-        s_elem = mesh.surface2d[fp.elems]  # (ne2, k)
-        grad_s_2d = np.einsum("cn,cnqd->cqd", s_elem, fp_basis.grad_bf)  # (ne2, nq2, 2)
-        nq3 = self.basis.num_qps
-        q2_of_q3 = np.arange(nq3) // order
-        # per 3-D cell: its column's surface gradient at the matching qp
-        col = mesh.elem_column(np.arange(mesh.num_elems))
-        self.grad_s_qp = grad_s_2d[col][:, q2_of_q3, :]  # (ne3, nq3, 2)
+        # footprint basis + column maps are pure topology/xy data: the
+        # transient geometry refresh moves only column endpoints (z), so
+        # these are computed once and reused across every refresh
+        self._fp_basis = compute_basis_data(fp.coords, fp.elems, fp.elem_type, order)
+        self._elem_col = mesh.elem_column(np.arange(mesh.num_elems))
+        self._basal_face_nodes = mesh.basal_face_nodes()
+        self._face_type = "quad4" if fp.elem_type == "quad4" else "tri3"
 
-        # Glen flow factor from the temperature field at layer midheights
+        # coords-dependent numeric setup (3-D basis, surface gradients,
+        # basal face geometry) -- recomputed by refresh_geometry()
+        self._geometry_numeric_setup()
+
+        # Glen flow factor from the temperature field at layer midheights.
+        # Temperature is a function of (x, y, zeta) only, and a vertical
+        # re-extrusion changes neither qp xy positions nor sigma levels,
+        # so this survives geometry refreshes untouched.
         zeta_mid = 0.5 * (mesh.sigma[:-1] + mesh.sigma[1:])  # (nz,)
         lay = mesh.elem_layer(np.arange(mesh.num_elems))
         qp_xy = self.basis.qp_coords[:, :, :2]
@@ -105,11 +107,9 @@ class StokesVelocityProblem:
         )
         self.flow_factor_qp = flow_factor_arrhenius(temp)  # (ne3, nq3)
 
-        # basal faces: bottom quad/tri of each layer-0 element
+        # basal friction is sampled at face-qp xy positions -- also
+        # invariant under vertical-only coordinate updates
         basal_elems = mesh.basal_elems()
-        face_nodes = mesh.basal_face_nodes()
-        face_type = "quad4" if fp.elem_type == "quad4" else "tri3"
-        self.face_basis = compute_face_basis_data(mesh.coords, face_nodes, face_type, order)
         fq = self.face_basis.qp_coords
         self.basal_beta_qp = np.asarray(
             self.geometry.basal_friction(fq[..., 0], fq[..., 1]), dtype=np.float64
@@ -176,6 +176,70 @@ class StokesVelocityProblem:
         self._precond_ladder = None
         #: per-solve preconditioner override (serve degradation rung)
         self._precond_override = None
+
+    def _geometry_numeric_setup(self) -> None:
+        """The coords-dependent slice of :meth:`_precompute`.
+
+        3-D basis data (jacobians, weighted gradients, qp positions),
+        the surface gradient replicated to the 3-D quadrature rule, and
+        the basal face geometry.  Everything here is a pure function of
+        ``mesh.coords``/``mesh.surface2d``; :meth:`refresh_geometry`
+        re-runs exactly this block after a vertical re-extrusion.
+        """
+        mesh = self.mesh
+        fp = mesh.footprint
+        order = self.config.quadrature_order
+
+        self.basis = compute_basis_data(mesh.coords, mesh.elems, mesh.elem_type, order)
+
+        # surface gradient at footprint quadrature points, replicated to
+        # the 3-D rule: hex qp q maps to footprint qp q // order (tensor
+        # ordering has the vertical coordinate fastest)
+        s_elem = mesh.surface2d[fp.elems]  # (ne2, k)
+        grad_s_2d = np.einsum("cn,cnqd->cqd", s_elem, self._fp_basis.grad_bf)
+        nq3 = self.basis.num_qps
+        q2_of_q3 = np.arange(nq3) // order
+        # per 3-D cell: its column's surface gradient at the matching qp
+        self.grad_s_qp = grad_s_2d[self._elem_col][:, q2_of_q3, :]  # (ne3, nq3, 2)
+
+        # basal faces: bottom quad/tri of each layer-0 element
+        self.face_basis = compute_face_basis_data(
+            mesh.coords, self._basal_face_nodes, self._face_type, order
+        )
+
+    def refresh_geometry(self, thickness2d: np.ndarray, surface2d: np.ndarray) -> None:
+        """Re-extrude the mesh for an evolved geometry, keeping symbolic state.
+
+        The transient engine calls this at the top of every coupled step:
+        the mesh's vertical coordinate is rebuilt from the new nodal
+        thickness/surface (:meth:`ExtrudedMesh.update_columns`) and only
+        the numeric precomputations that depend on it are redone.  The
+        expensive symbolic artifacts -- DofMap, the AssemblyPlan's
+        sorted/deduped CSR structure and scatter permutation, RCB
+        partitions, halo maps, the column-blocked reducer -- are all
+        topology-derived and survive untouched, which is what makes a
+        warm transient step much cheaper than a cold problem build.
+        """
+        with get_tracer().span("stokes.refresh_geometry", num_cells=self.mesh.num_elems):
+            self.mesh.update_columns(thickness2d, surface2d)
+            self._geometry_numeric_setup()
+            # Dirichlet row scaling tracks the physics diagonal, which
+            # changed with the geometry
+            self.bc_diag_scale = self._probe_diag_scale()
+        get_metrics().counter("transient.geometry_refresh").inc()
+
+    def depth_averaged_cell_velocity(self, u: np.ndarray) -> np.ndarray:
+        """Depth-averaged velocity per footprint element, ``(ne2, 2)``.
+
+        Column-average the nodal solution over levels (uniform sigma
+        spacing makes the plain mean the depth average), then average
+        the footprint element's nodes -- the cell-centered field the
+        thickness equation advects with (Eq. 2's ``H u_bar``).
+        """
+        mesh = self.mesh
+        nodal = self.dofmap.nodal_view(u)  # (nn3, 2)
+        col_avg = nodal.reshape(mesh.footprint.num_nodes, mesh.levels, 2).mean(axis=1)
+        return col_avg[mesh.footprint.elems].mean(axis=1)
 
     def _probe_diag_scale(self) -> float:
         u0 = np.zeros(self.dofmap.num_dofs)
@@ -526,6 +590,7 @@ class StokesVelocityProblem:
         resume_from=None,
         deadline=None,
         preconditioner: str | None = None,
+        newton_tol: float | None = None,
     ) -> VelocitySolution:
         """Run the damped Newton solve and report diagnostics.
 
@@ -557,6 +622,14 @@ class StokesVelocityProblem:
         last checkpoint; ``preconditioner`` overrides the configured
         factory for this solve only (the serve degradation ladder drops
         to a cheaper rung under load without rebuilding the problem).
+
+        Warm starting: ``u0`` seeds Newton with a prior velocity (the
+        transient engine passes the previous step's solution), and
+        ``newton_tol`` overrides ``config.newton_tol`` for this solve
+        only -- the engine derives one absolute tolerance from the cold
+        start's initial residual so warm-started steps terminate as soon
+        as they re-enter the converged basin instead of burning the full
+        Newton budget.
         """
         cfg = self.config
         if u0 is None:
@@ -601,7 +674,7 @@ class StokesVelocityProblem:
                 self.jacobian,
                 u0,
                 max_steps=cfg.newton_steps,
-                tol=cfg.newton_tol,
+                tol=cfg.newton_tol if newton_tol is None else float(newton_tol),
                 linear_tol=cfg.linear_tol,
                 gmres_restart=cfg.gmres_restart,
                 gmres_maxiter=cfg.gmres_maxiter,
@@ -641,6 +714,8 @@ class StokesVelocityProblem:
             # the preconditioner actually used this solve (a serve
             # degradation override wins over the configured factory)
             "preconditioner": preconditioner or cfg.preconditioner,
+            "newton_tol": cfg.newton_tol if newton_tol is None else float(newton_tol),
+            "warm_started": newton.warm_started,
             "gmres_restart": cfg.gmres_restart,
             "solve_seconds": solve_seconds,
             "newton_steps_per_s": newton.iterations / solve_seconds if solve_seconds > 0 else 0.0,

@@ -114,6 +114,33 @@ class ExtrudedMesh:
         if np.any(dz <= 0.0):
             raise ValueError("extruded mesh has non-positive layer thickness")
 
+    def update_columns(
+        self,
+        thickness2d: np.ndarray,
+        surface2d: np.ndarray,
+        min_thickness: float = 10.0,
+    ) -> None:
+        """Re-extrude the vertical coordinate for an evolved geometry.
+
+        Transient coupling moves only the column endpoints: footprint
+        coordinates, connectivity, numbering and sigma levels are all
+        invariant, so everything derived from topology (DofMap,
+        AssemblyPlan structure, partitions, reducers) stays valid and
+        only ``coords[:, 2]`` plus the cached 2D fields change.  The
+        thickness floor mirrors :func:`extrude_footprint` so margin
+        columns never degenerate mid-run.
+        """
+        h2 = np.maximum(np.asarray(thickness2d, dtype=np.float64), min_thickness)
+        s2 = np.asarray(surface2d, dtype=np.float64)
+        if h2.shape != (self.footprint.num_nodes,) or s2.shape != h2.shape:
+            raise ValueError("thickness2d/surface2d must be per footprint node")
+        b2 = s2 - h2
+        self.coords[:, 2] = (b2[:, None] + self.sigma[None, :] * h2[:, None]).ravel()
+        self.thickness2d = h2
+        self.surface2d = s2
+        self.bed2d = b2
+        self.validate()
+
 
 def extrude_footprint(
     footprint: Footprint2D,

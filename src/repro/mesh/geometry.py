@@ -128,6 +128,21 @@ class IceGeometry:
         t_bed = 268.0
         return t_bed + (t_surf - t_bed) * np.asarray(zeta, dtype=np.float64)
 
+    def surface_for_thickness(self, x, y, h):
+        """Upper surface [m] for an EVOLVED thickness field ``h``.
+
+        Same floatation rule as :meth:`surface`, but against a
+        caller-supplied thickness instead of the analytic profile: the
+        transient engine feeds the advected nodal thickness back through
+        this to re-extrude the velocity mesh each step.  The bedrock
+        stays the analytic :meth:`bed` (the solid earth does not evolve
+        on ice-dynamics timescales).
+        """
+        b = self.bed(x, y)
+        h = np.asarray(h, dtype=np.float64)
+        grounded = b + h * (RHO_ICE / RHO_SEAWATER) > 0.0
+        return np.where(grounded, b + h, h * (1.0 - RHO_ICE / RHO_SEAWATER))
+
     def basal_friction(self, x, y):
         """Basal friction coefficient beta [kPa yr / m]; ~0 where floating."""
         grounded = self.grounded(x, y)

@@ -10,7 +10,7 @@ from repro.physics.viscosity import (
     glen_viscosity,
     flow_factor_arrhenius,
 )
-from repro.physics.thickness import ThicknessEvolver
+from repro.physics.thickness import CflViolationError, ThicknessEvolver
 from repro.physics.evaluators import (
     Workset,
     Evaluator,
@@ -30,6 +30,7 @@ __all__ = [
     "glen_viscosity",
     "flow_factor_arrhenius",
     "ThicknessEvolver",
+    "CflViolationError",
     "Workset",
     "Evaluator",
     "FieldManager",

@@ -14,7 +14,28 @@ import numpy as np
 
 from repro.mesh.planar import Footprint2D
 
-__all__ = ["ThicknessEvolver"]
+__all__ = ["ThicknessEvolver", "CflViolationError"]
+
+
+class CflViolationError(ValueError):
+    """A requested ``dt`` exceeds the explicit-stepping CFL bound.
+
+    Explicit upwind advection past its CFL limit does not fail loudly --
+    it produces growing thickness oscillations that poison every later
+    velocity solve.  The evolver therefore refuses the step with this
+    typed error (carrying ``dt`` and ``dt_max``) so callers -- the
+    transient engine's adaptive stepper above all -- can cap the step
+    instead of integrating garbage.
+    """
+
+    def __init__(self, dt: float, dt_max: float):
+        self.dt = float(dt)
+        self.dt_max = float(dt_max)
+        super().__init__(
+            f"dt={self.dt:g} exceeds the CFL stability bound {self.dt_max:.6g}; "
+            "cap the step (dt <= cfl_safety * max_stable_dt(velocity)) or pass "
+            "enforce_cfl=False to accept the oscillation risk explicitly"
+        )
 
 
 class ThicknessEvolver:
@@ -24,6 +45,10 @@ class ThicknessEvolver:
         self.footprint = footprint
         self.areas = footprint.elem_areas()
         self._build_edges()
+        #: diagnostics of the most recent :meth:`step`: ``clipped_volume``
+        #: is the (nonnegative) ice volume created by the ``H >= 0`` clip
+        #: -- the exact correction a conservation audit must credit
+        self.last_step_stats: dict = {}
 
     def _build_edges(self) -> None:
         fp = self.footprint
@@ -72,6 +97,7 @@ class ThicknessEvolver:
         smb: np.ndarray | float = 0.0,
         bmb: np.ndarray | float = 0.0,
         enforce_cfl: bool = True,
+        flux_leak: float = 0.0,
     ) -> np.ndarray:
         """Advance ``H`` by ``dt`` years.
 
@@ -83,6 +109,17 @@ class ThicknessEvolver:
             (num_elems, 2) depth-averaged velocity [m/yr].
         smb, bmb:
             Surface/basal mass balance [m/yr] (scalar or per cell).
+        enforce_cfl:
+            Refuse ``dt`` beyond the stability bound with a typed
+            :class:`CflViolationError` (the default); explicit opt-out
+            for callers that sub-cycle themselves.
+        flux_leak:
+            Deliberate conservation violation: each edge flux deposits an
+            extra ``flux_leak`` fraction into its left cell only, so the
+            edge sum no longer telescopes to zero.  This is the planted
+            defect the CI ``transient-scenarios`` negative control arms
+            to prove the volume-conservation gate actually fires; it is
+            never set in production paths.
         """
         fp = self.footprint
         thickness = np.asarray(thickness, dtype=np.float64)
@@ -93,7 +130,7 @@ class ThicknessEvolver:
         if enforce_cfl:
             dt_max = self.max_stable_dt(velocity_cell)
             if dt > dt_max:
-                raise ValueError(f"dt={dt} exceeds CFL bound {dt_max:.3g}")
+                raise CflViolationError(dt, dt_max)
 
         l, r = self.edge_left, self.edge_right
         u_edge = 0.5 * (velocity_cell[l] + velocity_cell[r])
@@ -104,10 +141,40 @@ class ThicknessEvolver:
         dh = np.zeros(fp.num_elems)
         np.add.at(dh, l, -flux)
         np.add.at(dh, r, flux)
+        if flux_leak != 0.0:
+            np.add.at(dh, l, -flux_leak * np.abs(flux))
         dh /= self.areas
 
-        h_new = thickness + dt * (dh + np.asarray(smb) + np.asarray(bmb))
-        return np.maximum(h_new, 0.0)
+        h_unclipped = thickness + dt * (dh + np.asarray(smb) + np.asarray(bmb))
+        h_new = np.maximum(h_unclipped, 0.0)
+        self.last_step_stats = {
+            "dt": float(dt),
+            "clipped_volume": float(np.sum((h_new - h_unclipped) * self.areas)),
+            "source_volume": float(
+                dt * np.sum((np.asarray(smb) + np.asarray(bmb)) * self.areas)
+            ),
+        }
+        return h_new
+
+    def node_thickness(self, thickness: np.ndarray) -> np.ndarray:
+        """Area-weighted cell->node thickness interpolation.
+
+        The FV state is cell-centered but the extruded velocity mesh
+        needs nodal columns; the weight of each incident cell is its
+        footprint area, accumulated with ``np.add.at`` in element order
+        so the interpolation is a deterministic pure function of the
+        input (bitwise-resume safe).
+        """
+        fp = self.footprint
+        thickness = np.asarray(thickness, dtype=np.float64)
+        if thickness.shape != (fp.num_elems,):
+            raise ValueError("thickness must be per footprint element")
+        acc = np.zeros(fp.num_nodes)
+        wt = np.zeros(fp.num_nodes)
+        for j in range(fp.nodes_per_elem):
+            np.add.at(acc, fp.elems[:, j], thickness * self.areas)
+            np.add.at(wt, fp.elems[:, j], self.areas)
+        return acc / wt
 
     def total_volume(self, thickness: np.ndarray) -> float:
         return float(np.sum(thickness * self.areas))

@@ -39,8 +39,14 @@ class SolveScenario:
     preconditioner: str = "mdsc"
     nparts: int = 1
     newton_steps: int = 8
+    #: which synthetic ice sheet ("antarctica" | "greenland"); part of
+    #: the problem identity -- same numbers on a different sheet is a
+    #: different problem and must not share a cache entry
+    family: str = "antarctica"
 
     def __post_init__(self):
+        if self.family not in ("antarctica", "greenland"):
+            raise ValueError(f"unknown ice-sheet family {self.family!r}")
         if self.preconditioner not in PRECONDITIONERS:
             raise ValueError(
                 f"unknown preconditioner {self.preconditioner!r}; have {PRECONDITIONERS}"
@@ -60,7 +66,8 @@ class SolveScenario:
         """
         key = (
             f"res={self.resolution_km!r}|nz={self.num_layers}|"
-            f"pc={self.preconditioner}|np={self.nparts}|ns={self.newton_steps}"
+            f"pc={self.preconditioner}|np={self.nparts}|ns={self.newton_steps}|"
+            f"fam={self.family}"
         )
         return hashlib.sha256(key.encode()).hexdigest()[:16]
 
@@ -69,6 +76,7 @@ class SolveScenario:
         return AntarcticaConfig(
             resolution_km=self.resolution_km,
             num_layers=self.num_layers,
+            family=self.family,
             velocity=VelocityConfig(
                 preconditioner=self.preconditioner,
                 nparts=self.nparts,

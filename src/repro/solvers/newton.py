@@ -69,6 +69,10 @@ class NewtonResult:
     #: most recent state snapshot (``checkpoint_every`` accepted steps);
     #: feed it back via ``newton_solve(resume_from=...)`` to restart
     checkpoint: NewtonCheckpoint | None = None
+    #: the solve started from a nonzero ``x0`` (a warm start).  Transient
+    #: stepping feeds each solve the previous step's velocity; this flag
+    #: is the provenance the warm-start regression tests assert on.
+    warm_started: bool = False
 
     @property
     def final_residual(self) -> float:
@@ -209,6 +213,7 @@ def newton_solve(
 
     x = np.array(x0, dtype=np.float64)
     res = NewtonResult(x, False, 0)
+    res.warm_started = bool(np.any(x != 0.0))
     res.phase_seconds = phases
     start_step = 0
     if resume_from is not None:

@@ -1,0 +1,186 @@
+"""``python -m repro transient`` -- run, check and resume transient scenarios.
+
+The ``--check`` mode is the transient acceptance gate, structured like
+the Antarctica regression check: it runs the closed-budget library
+scenario through >= 20 coupled steps and asserts the three properties
+the engine exists to provide --
+
+1. **conservation**: relative total-volume drift at most 1e-12 under a
+   zero net mass balance (interior upwind fluxes telescope exactly, so
+   anything more is a bug);
+2. **warm-start payoff**: the warm-started steps average strictly fewer
+   Newton iterations than the cold first step;
+3. **bitwise resume**: a run killed mid-trajectory and resumed from its
+   checkpoint ends in exactly (``np.array_equal``) the state of the
+   uninterrupted run -- thickness, velocity and particles.
+
+``--plant-leak`` arms the evolver's deliberate conservation violation;
+CI runs it as a negative control to prove gate (1) actually fires.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.transient.engine import TransientEngine, TransientKilled
+from repro.transient.scenarios import SCENARIOS, get_scenario
+
+__all__ = ["main", "run_check"]
+
+#: the --check gates (documented here, asserted below)
+CHECK_SCENARIO = "antarctica-closed"
+CHECK_MIN_STEPS = 20
+CHECK_DRIFT_TOL = 1.0e-12
+CHECK_KILL_AT = 9  # kill after the 10th step (0-based index 9): mid-run
+
+
+def _print_step(step: int, info: dict) -> None:
+    print(
+        f"  step {step + 1:3d}: t = {info['t_years']:8.1f} yr  "
+        f"dt = {info['dt']:6.1f}  vol = {info['volume']:.6e} m^3  "
+        f"newton = {info['newton_iterations']}"
+        f"{' (warm)' if info['warm_started'] else ' (cold)'}  "
+        f"particles = {info['active_particles']}"
+    )
+
+
+def run_check(plant_leak: float = 0.0, verbose: bool = True) -> int:
+    """Run the acceptance gate; returns a process exit code."""
+    scenario = get_scenario(CHECK_SCENARIO)
+    if scenario.num_steps < CHECK_MIN_STEPS:
+        scenario = scenario.with_steps(CHECK_MIN_STEPS)
+    engine = TransientEngine(scenario)
+    cb = _print_step if verbose else None
+
+    print(f"transient check: scenario {scenario.name!r}, {scenario.num_steps} steps")
+    result = engine.run(plant_leak=plant_leak, callback=cb)
+
+    failures = []
+
+    drift = result.volume_drift
+    ok = drift <= CHECK_DRIFT_TOL
+    print(f"  [{'ok' if ok else 'FAIL'}] volume drift {drift:.3e} (tol {CHECK_DRIFT_TOL:g})")
+    if not ok:
+        failures.append("volume conservation")
+
+    cold = result.cold_iterations
+    warm = result.warm_mean_iterations
+    ok = warm < cold
+    print(f"  [{'ok' if ok else 'FAIL'}] warm-start: cold {cold} its, warm mean {warm:.2f}")
+    if not ok:
+        failures.append("warm-start iteration reduction")
+
+    # kill/resume drill on a fresh engine sharing the same cached
+    # problem; plant_leak passes through so the negative control still
+    # compares like with like (it fails gate 1, not this one)
+    with tempfile.TemporaryDirectory() as td:
+        killed_engine = TransientEngine(scenario, cache=engine.cache)
+        try:
+            killed_engine.run(
+                kill_at_step=CHECK_KILL_AT, checkpoint_dir=td, plant_leak=plant_leak
+            )
+            raise AssertionError("scripted kill did not fire")
+        except TransientKilled as kill:
+            resumed = killed_engine.run(resume_from=kill.path, plant_leak=plant_leak)
+    ok = (
+        np.array_equal(resumed.thickness, result.thickness)
+        and np.array_equal(resumed.u, result.u)
+        and np.array_equal(resumed.particles.xy, result.particles.xy)
+        and np.array_equal(resumed.particles.active, result.particles.active)
+    )
+    print(
+        f"  [{'ok' if ok else 'FAIL'}] kill at step {CHECK_KILL_AT + 1}/"
+        f"{scenario.num_steps} + resume reproduces the run bitwise"
+    )
+    if not ok:
+        failures.append("bitwise kill/resume")
+
+    if failures:
+        print(f"transient check FAILED: {', '.join(failures)}")
+        return 1
+    print("transient check passed")
+    return 0
+
+
+def _write_volume_csv(path: Path, result) -> None:
+    lines = ["time_years,volume_m3"]
+    lines += [f"{t!r},{v!r}" for t, v in zip(result.times, result.volumes)]
+    path.write_text("\n".join(lines) + "\n")
+    print(f"wrote volume time-series to {path}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro transient",
+        description="Run a named transient ice-sheet scenario.",
+    )
+    parser.add_argument(
+        "scenario",
+        nargs="?",
+        default=CHECK_SCENARIO,
+        help=f"library scenario name (default: {CHECK_SCENARIO})",
+    )
+    parser.add_argument("--list", action="store_true", help="list library scenarios")
+    parser.add_argument("--check", action="store_true", help="run the acceptance gate")
+    parser.add_argument("--steps", type=int, default=None, help="override step count")
+    parser.add_argument(
+        "--plant-leak",
+        type=float,
+        default=0.0,
+        help="arm the deliberate conservation leak (CI negative control)",
+    )
+    parser.add_argument("--kill-at", type=int, default=None, help="kill after this step index")
+    parser.add_argument("--resume", type=str, default=None, help="resume from a checkpoint .npz")
+    parser.add_argument(
+        "--checkpoint-dir", type=str, default=None, help="write periodic checkpoints here"
+    )
+    parser.add_argument(
+        "--volume-csv", type=str, default=None, help="write the volume time-series as CSV"
+    )
+    parser.add_argument("-q", "--quiet", action="store_true", help="suppress per-step output")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in sorted(SCENARIOS):
+            sc = SCENARIOS[name]
+            print(f"{name:20s} {sc.family:10s} {sc.num_steps:3d} steps  forcing={sc.forcing}")
+        return 0
+
+    if args.check:
+        return run_check(plant_leak=args.plant_leak, verbose=not args.quiet)
+
+    scenario = get_scenario(args.scenario)
+    if args.steps is not None:
+        scenario = scenario.with_steps(args.steps)
+    engine = TransientEngine(scenario)
+    print(f"transient scenario {scenario.name!r}: {scenario.num_steps} steps")
+    try:
+        result = engine.run(
+            resume_from=args.resume,
+            kill_at_step=args.kill_at,
+            plant_leak=args.plant_leak,
+            checkpoint_dir=args.checkpoint_dir,
+            callback=None if args.quiet else _print_step,
+        )
+    except TransientKilled as kill:
+        print(f"killed after step {kill.checkpoint.step} (checkpoint: {kill.path})")
+        return 0
+    d = result.diagnostics
+    print(
+        f"done: t = {d['t_final_years']:.1f} yr, volume {result.volumes[-1]:.6e} m^3 "
+        f"(drift {result.volume_drift:.3e}), cold {result.cold_iterations} its, "
+        f"warm mean {result.warm_mean_iterations:.2f}, "
+        f"{d['active_particles']}/{len(result.particles)} particles active"
+    )
+    if args.volume_csv:
+        _write_volume_csv(Path(args.volume_csv), result)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

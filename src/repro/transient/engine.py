@@ -1,0 +1,384 @@
+"""The transient engine: CFL-stepped thickness/velocity coupling.
+
+MALI's forward model alternates a diagnostic FO Stokes velocity solve
+with a prognostic thickness update (Eq. 2).  The engine runs that loop
+with the three amortizations that make it affordable:
+
+* **artifact reuse** -- the mesh, DofMap, AssemblyPlan and
+  preconditioner scaffolding are built once per scenario (via the
+  serve-layer :class:`~repro.serve.cache.ArtifactCache`) and only the
+  vertical coordinate is re-extruded each step
+  (:meth:`~repro.app.velocity_solver.StokesVelocityProblem.refresh_geometry`);
+* **warm starts** -- each Newton solve starts from the previous step's
+  velocity.  The cold start measures ``||F(0)||`` once and fixes the
+  absolute tolerance ``tol_abs = newton_rtol * ||F(0)||`` for the whole
+  run, so warm-started steps converge in the few iterations it takes to
+  re-enter the basin instead of burning the full Newton budget;
+* **adaptive CFL stepping** -- the requested ``dt`` is capped at
+  ``cfl_safety`` times the evolver's stability bound for the current
+  velocity, so the explicit upwind update stays monotone (and the
+  ``H >= 0`` clip stays inactive on closed-budget runs, which is what
+  lets the conservation gate demand drift at roundoff).
+
+Every step is a pure function of the checkpointed state ``(H, u,
+tol_abs, t, particles)``: geometry is refreshed from ``H`` at the top
+of *every* step (not carried across steps as hidden mutable state), so
+a killed run resumed from a :class:`~repro.transient.checkpoint.
+TransientCheckpoint` reproduces the uninterrupted trajectory bit for
+bit -- the transient analogue of the Newton-level resume guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.observability import get_metrics, get_series, get_tracer
+from repro.physics.thickness import ThicknessEvolver
+from repro.transient.checkpoint import TransientCheckpoint
+from repro.transient.particles import ParticleSet
+from repro.transient.scenarios import TransientScenario, build_scenario_problem
+
+__all__ = ["TransientEngine", "TransientResult", "TransientKilled"]
+
+
+class TransientKilled(RuntimeError):
+    """A scripted kill fired mid-run (chaos/CI resume drills).
+
+    Carries the checkpoint written at the kill point (and its path when
+    a checkpoint directory was configured) so the harness that armed
+    ``kill_at_step`` can immediately resume from exactly this state.
+    """
+
+    def __init__(self, checkpoint: TransientCheckpoint, path: Path | None):
+        self.checkpoint = checkpoint
+        self.path = path
+        super().__init__(
+            f"transient run killed after step {checkpoint.step} "
+            f"(checkpoint {'at ' + str(path) if path else 'in memory'})"
+        )
+
+
+@dataclass
+class TransientResult:
+    """Outcome of a transient run plus the coupling diagnostics."""
+
+    scenario: TransientScenario
+    thickness: np.ndarray  # final (num_footprint_elems,) cell thickness
+    u: np.ndarray  # final velocity dofs
+    particles: ParticleSet
+    volumes: list[float]  # V_0 .. V_N [m^3]
+    times: list[float]  # 0 .. t_N [yr]
+    dts: list[float]  # accepted step sizes [yr]
+    newton_iterations: list[int]  # per-step Newton iteration counts
+    warm_started: list[bool]  # per-step warm-start flags
+    tol_abs: float
+    diagnostics: dict = field(default_factory=dict)
+
+    @property
+    def volume_drift(self) -> float:
+        """Max relative departure of total volume from its initial value.
+
+        The conservation gate for closed-budget (zero-forcing) scenarios:
+        interior-edge upwind fluxes telescope exactly, so any drift
+        beyond roundoff accumulation is a bug (or the planted CI leak).
+        """
+        v0 = self.volumes[0]
+        return float(max(abs(v - v0) for v in self.volumes) / abs(v0))
+
+    @property
+    def cold_iterations(self) -> int:
+        return self.newton_iterations[0]
+
+    @property
+    def warm_mean_iterations(self) -> float:
+        """Mean Newton iterations over the warm-started steps."""
+        warm = [n for n, w in zip(self.newton_iterations, self.warm_started) if w]
+        return float(np.mean(warm)) if warm else float("nan")
+
+    def final_checkpoint(self) -> TransientCheckpoint:
+        """The end-of-run state as a checkpoint (extendable runs)."""
+        return TransientCheckpoint(
+            step=len(self.dts),
+            t_years=self.times[-1],
+            tol_abs=self.tol_abs,
+            thickness=self.thickness,
+            u=self.u,
+            particles_xy=self.particles.xy,
+            particles_zeta=self.particles.zeta,
+            particles_active=self.particles.active,
+            scenario_digest=self.scenario.digest,
+            volumes=list(self.volumes),
+            times=list(self.times),
+            dts=list(self.dts),
+            newton_iterations=list(self.newton_iterations),
+        )
+
+
+class TransientEngine:
+    """Runs a :class:`TransientScenario` through the coupled loop."""
+
+    def __init__(self, scenario: TransientScenario, cache=None):
+        self.scenario = scenario
+        if cache is None:
+            from repro.serve.cache import ArtifactCache
+
+            cache = ArtifactCache(builder=build_scenario_problem)
+        self.cache = cache
+        entry = cache.get(scenario)
+        self.test = entry.test
+        self.problem = self.test.problem
+        self.mesh = self.test.mesh
+        self.geometry = self.test.geometry
+        self.footprint = self.mesh.footprint
+        self.evolver = ThicknessEvolver(self.footprint)
+        self._centers = self.footprint.elem_centers()
+        self._x2 = self.footprint.coords[:, 0]
+        self._y2 = self.footprint.coords[:, 1]
+
+    # ------------------------------------------------------------------
+    def initial_thickness(self) -> np.ndarray:
+        """Cell-centered initial thickness from the analytic geometry."""
+        cx, cy = self._centers[:, 0], self._centers[:, 1]
+        return np.asarray(self.geometry.thickness(cx, cy), dtype=np.float64)
+
+    def _mass_balance(self, h_cell: np.ndarray, t_years: float):
+        """(smb, bmb) per cell [m/yr] for the scenario's forcing at ``t``."""
+        sc = self.scenario
+        ne = self.footprint.num_elems
+        zero = 0.0
+        if sc.forcing == "none" or sc.forcing_amplitude == 0.0:
+            return zero, zero
+        cx, cy = self._centers[:, 0], self._centers[:, 1]
+        if sc.forcing == "retreat":
+            gx, gy = self.geometry.center
+            r = np.hypot(cx - gx, cy - gy) / self.geometry.radius
+            smb = -sc.forcing_amplitude * np.clip((r - 0.6) / 0.4, 0.0, 1.0)
+            return smb, zero
+        if sc.forcing == "ramp":
+            level = min(t_years / sc.forcing_ramp_years, 1.0)
+            return np.full(ne, -sc.forcing_amplitude * level), zero
+        # "collapse": basal melt under floating ice, judged against the
+        # *evolving* thickness's own floatation state
+        from repro.constants import RHO_ICE, RHO_SEAWATER
+
+        bed = np.asarray(self.geometry.bed(cx, cy), dtype=np.float64)
+        floating = bed + h_cell * (RHO_ICE / RHO_SEAWATER) <= 0.0
+        return zero, np.where(floating, -sc.forcing_amplitude, 0.0)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        num_steps: int | None = None,
+        resume_from: TransientCheckpoint | str | Path | None = None,
+        kill_at_step: int | None = None,
+        plant_leak: float = 0.0,
+        checkpoint_dir: str | Path | None = None,
+        checkpoint_every: int | None = None,
+        callback=None,
+    ) -> TransientResult:
+        """Run (or resume) the coupled loop for ``num_steps`` steps.
+
+        ``resume_from`` restarts bit-for-bit from a checkpoint (object
+        or ``.npz`` path); ``kill_at_step=k`` checkpoints after step
+        ``k`` completes and raises :class:`TransientKilled` (the CI
+        resume drill); ``plant_leak`` passes a deliberate conservation
+        violation through to the evolver (the CI negative control);
+        ``callback(step, result_so_far_dict)`` observes each step.
+        """
+        sc = self.scenario
+        total = sc.num_steps if num_steps is None else int(num_steps)
+        every = sc.checkpoint_every if checkpoint_every is None else int(checkpoint_every)
+        ckpt_dir = Path(checkpoint_dir) if checkpoint_dir is not None else None
+        if ckpt_dir is not None:
+            ckpt_dir.mkdir(parents=True, exist_ok=True)
+
+        tracer = get_tracer()
+        metrics = get_metrics()
+        series = get_series()
+
+        # -- initial or resumed state ----------------------------------
+        if resume_from is None:
+            h = self.initial_thickness()
+            u_prev: np.ndarray | None = None
+            tol_abs: float | None = None
+            t = 0.0
+            start = 0
+            particles = ParticleSet.seed(
+                self.footprint, h, sc.num_particles, seed=sc.particle_seed
+            )
+            volumes = [self.evolver.total_volume(h)]
+            times = [0.0]
+            dts: list[float] = []
+            newton_its: list[int] = []
+            warm_flags: list[bool] = []
+        else:
+            ckpt = (
+                resume_from
+                if isinstance(resume_from, TransientCheckpoint)
+                else TransientCheckpoint.load(resume_from)
+            )
+            if ckpt.scenario_digest and ckpt.scenario_digest != sc.digest:
+                raise ValueError(
+                    f"checkpoint belongs to scenario digest {ckpt.scenario_digest}, "
+                    f"not {sc.digest} ({sc.name}); resuming would fork the trajectory"
+                )
+            h = np.array(ckpt.thickness, dtype=np.float64)
+            u_prev = np.array(ckpt.u, dtype=np.float64)
+            tol_abs = ckpt.tol_abs
+            t = ckpt.t_years
+            start = ckpt.step
+            particles = ParticleSet(
+                self.footprint, ckpt.particles_xy, ckpt.particles_zeta, ckpt.particles_active
+            )
+            volumes = list(ckpt.volumes)
+            times = list(ckpt.times)
+            dts = list(ckpt.dts)
+            newton_its = list(ckpt.newton_iterations)
+            # reconstruct: only the cold first step of the original run
+            # was not warm-started (flags are derived, not checkpointed)
+            warm_flags = [sc.warm_start and i > 0 for i in range(len(newton_its))]
+            metrics.counter("transient.resumes").inc()
+
+        clipped_total = 0.0
+        source_total = 0.0
+
+        def snapshot(step_done: int) -> TransientCheckpoint:
+            return TransientCheckpoint(
+                step=step_done,
+                t_years=t,
+                tol_abs=float(tol_abs),
+                thickness=h,
+                u=u_prev,
+                particles_xy=particles.xy,
+                particles_zeta=particles.zeta,
+                particles_active=particles.active,
+                scenario_digest=sc.digest,
+                volumes=list(volumes),
+                times=list(times),
+                dts=list(dts),
+                newton_iterations=list(newton_its),
+            )
+
+        with tracer.span("transient.run", scenario=sc.name, steps=total):
+            for s in range(start, total):
+                with tracer.span("transient.step", step=s):
+                    # 1. geometry from the current thickness (every step,
+                    # including the first after a resume: the mesh is
+                    # derived state, never carried hidden across steps)
+                    nodal_h = self.evolver.node_thickness(h)
+                    nodal_s = self.geometry.surface_for_thickness(
+                        self._x2, self._y2, nodal_h
+                    )
+                    self.problem.refresh_geometry(nodal_h, nodal_s)
+
+                    # 2. velocity: warm-started, fixed absolute tolerance
+                    if tol_abs is None:
+                        f0 = float(
+                            np.linalg.norm(
+                                self.problem.residual(
+                                    np.zeros(self.problem.dofmap.num_dofs)
+                                )
+                            )
+                        )
+                        tol_abs = sc.newton_rtol * f0
+                    u0 = u_prev if (sc.warm_start and u_prev is not None) else None
+                    with tracer.span("transient.velocity", step=s):
+                        sol = self.problem.solve(u0=u0, newton_tol=tol_abs)
+                    u_prev = sol.u
+
+                    # 3. thickness: CFL-capped explicit upwind step
+                    with tracer.span("transient.thickness", step=s):
+                        v_cell = self.problem.depth_averaged_cell_velocity(sol.u)
+                        dt = sc.dt_years
+                        dt_max = self.evolver.max_stable_dt(v_cell)
+                        if np.isfinite(dt_max):
+                            dt = min(dt, sc.cfl_safety * dt_max)
+                        smb, bmb = self._mass_balance(h, t)
+                        h = self.evolver.step(
+                            h, v_cell, dt, smb=smb, bmb=bmb, flux_leak=plant_leak
+                        )
+                    clipped_total += self.evolver.last_step_stats["clipped_volume"]
+                    source_total += self.evolver.last_step_stats["source_volume"]
+
+                    # 4. particles ride the same velocity field
+                    if len(particles):
+                        with tracer.span("transient.particles", step=s):
+                            particles.advect(self.problem.dofmap.nodal_view(sol.u), dt)
+
+                    t += dt
+
+                # -- record ------------------------------------------------
+                vol = self.evolver.total_volume(h)
+                volumes.append(vol)
+                times.append(t)
+                dts.append(dt)
+                newton_its.append(sol.newton.iterations)
+                warm_flags.append(bool(sol.diagnostics["warm_started"]))
+                metrics.counter("transient.steps").inc()
+                series.record("transient.volume", vol, scenario=sc.name)
+                series.record("transient.dt", dt, scenario=sc.name)
+                series.record(
+                    "transient.newton_iterations",
+                    sol.newton.iterations,
+                    scenario=sc.name,
+                )
+                if callback is not None:
+                    callback(
+                        s,
+                        {
+                            "t_years": t,
+                            "dt": dt,
+                            "volume": vol,
+                            "newton_iterations": sol.newton.iterations,
+                            "warm_started": warm_flags[-1],
+                            "active_particles": particles.num_active,
+                        },
+                    )
+
+                done = s + 1
+                if ckpt_dir is not None and every and done % every == 0 and done < total:
+                    snapshot(done).save(ckpt_dir / f"step{done:04d}.npz")
+                    metrics.counter("transient.checkpoints").inc()
+                if kill_at_step is not None and s == kill_at_step:
+                    ck = snapshot(done)
+                    path = None
+                    if ckpt_dir is not None:
+                        path = ck.save(ckpt_dir / f"killed_step{done:04d}.npz")
+                    metrics.counter("transient.kills").inc()
+                    raise TransientKilled(ck, path)
+
+        result = TransientResult(
+            scenario=sc,
+            thickness=h,
+            u=u_prev,
+            particles=particles,
+            volumes=volumes,
+            times=times,
+            dts=dts,
+            newton_iterations=newton_its,
+            warm_started=warm_flags,
+            tol_abs=float(tol_abs),
+            diagnostics={
+                "scenario": sc.name,
+                "scenario_digest": sc.digest,
+                "num_steps": len(dts),
+                "t_final_years": t,
+                "tol_abs": float(tol_abs),
+                "cold_iterations": newton_its[0] if newton_its else 0,
+                "active_particles": particles.num_active,
+                # conservation audit: V_N - V_0 must equal the credited
+                # sources (SMB/BMB) plus the H>=0 clip corrections; the
+                # residual is the unexplained (bug) volume
+                "volume_budget_residual": float(
+                    volumes[-1] - volumes[0] - source_total - clipped_total
+                ),
+                "clipped_volume": clipped_total,
+                "source_volume": source_total,
+            },
+        )
+        if ckpt_dir is not None:
+            result.final_checkpoint().save(ckpt_dir / "final.npz")
+        return result

@@ -1,0 +1,151 @@
+"""Integration tests of the transient engine on real velocity solves.
+
+One module-scoped :class:`~repro.serve.cache.ArtifactCache` backs every
+test (the same amortization the engine itself relies on), so the mesh
+and AssemblyPlan are built once for the whole module.
+"""
+
+import numpy as np
+import pytest
+
+from repro.serve.cache import ArtifactCache
+from repro.transient import (
+    TransientEngine,
+    TransientKilled,
+    build_scenario_problem,
+    get_scenario,
+)
+
+#: the closed-budget library scenario, truncated for test cost
+STEPS = 5
+KILL_AT = 1  # kill after step 2 of 5: resume covers most of the run
+
+
+@pytest.fixture(scope="module")
+def cache():
+    return ArtifactCache(builder=build_scenario_problem)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return get_scenario("antarctica-closed").with_steps(STEPS)
+
+
+@pytest.fixture(scope="module")
+def baseline(cache, scenario):
+    """The uninterrupted reference trajectory."""
+    return TransientEngine(scenario, cache=cache).run()
+
+
+class TestWarmStarts:
+    def test_warm_steps_beat_the_cold_start(self, baseline):
+        """The acceptance criterion: warm mean strictly below cold."""
+        assert baseline.warm_started[0] is False
+        assert all(baseline.warm_started[1:])
+        cold = baseline.cold_iterations
+        assert baseline.warm_mean_iterations < cold
+        # and not just on average: every warm step individually wins
+        assert all(n < cold for n in baseline.newton_iterations[1:])
+
+    def test_explicit_zero_guess_matches_default(self, cache, scenario):
+        """solve(u0=zeros) IS the cold solve, bitwise (the x0 seam)."""
+        engine = TransientEngine(scenario, cache=cache)
+        h = engine.initial_thickness()
+        nodal_h = engine.evolver.node_thickness(h)
+        nodal_s = engine.geometry.surface_for_thickness(engine._x2, engine._y2, nodal_h)
+        engine.problem.refresh_geometry(nodal_h, nodal_s)
+        a = engine.problem.solve()
+        b = engine.problem.solve(u0=np.zeros(engine.problem.dofmap.num_dofs))
+        assert np.array_equal(a.u, b.u)
+        assert a.diagnostics["warm_started"] is False
+        assert b.diagnostics["warm_started"] is False
+
+    def test_warm_start_flag_reported(self, cache, scenario):
+        engine = TransientEngine(scenario, cache=cache)
+        h = engine.initial_thickness()
+        nodal_h = engine.evolver.node_thickness(h)
+        nodal_s = engine.geometry.surface_for_thickness(engine._x2, engine._y2, nodal_h)
+        engine.problem.refresh_geometry(nodal_h, nodal_s)
+        cold = engine.problem.solve()
+        warm = engine.problem.solve(u0=cold.u, newton_tol=1.0e-6 * cold.newton.residual_norms[0])
+        assert warm.diagnostics["warm_started"] is True
+        assert warm.newton.iterations < cold.newton.iterations
+
+
+class TestConservation:
+    def test_closed_budget_volume_drift_at_roundoff(self, baseline):
+        assert baseline.volume_drift <= 1.0e-12
+        assert abs(baseline.diagnostics["volume_budget_residual"]) <= 1.0e-12 * abs(
+            baseline.volumes[0]
+        )
+
+    def test_planted_leak_is_caught(self, cache, scenario):
+        """The CI negative control, in miniature."""
+        leaky = TransientEngine(scenario.with_steps(2), cache=cache).run(plant_leak=1.0e-6)
+        assert leaky.volume_drift > 1.0e-12
+
+
+class TestKillResume:
+    def test_kill_then_resume_is_bitwise_identical(self, tmp_path, cache, scenario, baseline):
+        """The acceptance criterion: resume forks nothing."""
+        engine = TransientEngine(scenario, cache=cache)
+        with pytest.raises(TransientKilled) as exc:
+            engine.run(kill_at_step=KILL_AT, checkpoint_dir=tmp_path)
+        kill = exc.value
+        assert kill.checkpoint.step == KILL_AT + 1
+        assert kill.path is not None and kill.path.exists()
+
+        resumed = engine.run(resume_from=kill.path)
+        assert np.array_equal(resumed.thickness, baseline.thickness)
+        assert np.array_equal(resumed.u, baseline.u)
+        assert np.array_equal(resumed.particles.xy, baseline.particles.xy)
+        assert np.array_equal(resumed.particles.zeta, baseline.particles.zeta)
+        assert np.array_equal(resumed.particles.active, baseline.particles.active)
+        assert resumed.volumes == baseline.volumes
+        assert resumed.dts == baseline.dts
+        assert resumed.newton_iterations == baseline.newton_iterations
+
+    def test_resume_refuses_foreign_scenario(self, tmp_path, cache, scenario):
+        engine = TransientEngine(scenario, cache=cache)
+        with pytest.raises(TransientKilled) as exc:
+            engine.run(kill_at_step=0, checkpoint_dir=tmp_path)
+        other = TransientEngine(scenario.with_steps(STEPS + 1), cache=cache)
+        with pytest.raises(ValueError, match="fork"):
+            other.run(resume_from=exc.value.path)
+
+
+class TestArtifactReuse:
+    def test_engines_share_the_cached_problem(self, cache, scenario):
+        a = TransientEngine(scenario, cache=cache)
+        b = TransientEngine(scenario, cache=cache)
+        assert a.problem is b.problem
+        assert a.test is b.test
+
+    def test_geometry_refresh_keeps_symbolic_artifacts(self, cache, scenario):
+        """Only the numeric geometry moves; topology-derived state is kept."""
+        engine = TransientEngine(scenario, cache=cache)
+        prob = engine.problem
+        dofmap, plan = prob.dofmap, prob.plan
+        fp_basis, elem_col = prob._fp_basis, prob._elem_col
+        h = engine.initial_thickness() * 0.95
+        nodal_h = engine.evolver.node_thickness(h)
+        nodal_s = engine.geometry.surface_for_thickness(engine._x2, engine._y2, nodal_h)
+        basis_before = prob.basis
+        prob.refresh_geometry(nodal_h, nodal_s)
+        assert prob.dofmap is dofmap
+        assert prob.plan is plan
+        assert prob._fp_basis is fp_basis
+        assert prob._elem_col is elem_col
+        assert prob.basis is not basis_before  # 3D basis WAS recomputed
+
+
+class TestScenarioLibrary:
+    @pytest.mark.parametrize("name", ["antarctica-retreat", "greenland-ramp", "shelf-collapse"])
+    def test_forced_scenarios_lose_volume(self, cache, name):
+        """Every forcing in the library removes mass; volume must drop."""
+        result = TransientEngine(get_scenario(name).with_steps(2), cache=cache).run()
+        assert result.volumes[-1] < result.volumes[0]
+        # the budget closes: loss is explained by the credited sources
+        assert abs(result.diagnostics["volume_budget_residual"]) <= 1.0e-10 * abs(
+            result.volumes[0]
+        )

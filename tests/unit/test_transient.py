@@ -1,0 +1,191 @@
+"""Unit tests of the transient building blocks (no velocity solves).
+
+Particles, checkpoints, the cell->node interpolation and the vertical
+re-extrusion are all pure numpy; everything here runs in milliseconds
+and pins the determinism contracts the engine's bitwise-resume
+guarantee is assembled from.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.mesh.extrude import extrude_footprint
+from repro.mesh.geometry import antarctica_geometry
+from repro.mesh.planar import masked_quad_footprint, quad_footprint
+from repro.physics import ThicknessEvolver
+from repro.transient import (
+    SCENARIOS,
+    ParticleSet,
+    TransientCheckpoint,
+    TransientScenario,
+    get_scenario,
+)
+
+
+@pytest.fixture(scope="module")
+def footprint():
+    return quad_footprint(6, 5, 6.0e5, 5.0e5)
+
+
+def _uniform_nodal3(footprint, levels, vx, vy):
+    """A constant (vx, vy) nodal velocity on the extruded node set."""
+    nn3 = footprint.num_nodes * levels
+    out = np.empty((nn3, 2))
+    out[:, 0] = vx
+    out[:, 1] = vy
+    return out
+
+
+class TestParticles:
+    def test_seed_is_deterministic(self, footprint):
+        h = np.linspace(100.0, 2000.0, footprint.num_elems)
+        a = ParticleSet.seed(footprint, h, 32, seed=11)
+        b = ParticleSet.seed(footprint, h, 32, seed=11)
+        assert np.array_equal(a.xy, b.xy)
+        assert np.array_equal(a.zeta, b.zeta)
+        c = ParticleSet.seed(footprint, h, 32, seed=12)
+        assert not np.array_equal(a.xy, c.xy)
+
+    def test_seed_weights_by_ice_volume(self, footprint):
+        # all the ice in one cell -> every particle lands in/near it
+        h = np.zeros(footprint.num_elems)
+        h[7] = 1000.0
+        p = ParticleSet.seed(footprint, h, 16, seed=3)
+        center = footprint.elem_centers()[7]
+        spread = np.sqrt(footprint.elem_areas()[7])
+        assert np.all(np.abs(p.xy - center) <= 0.5 * spread)
+
+    def test_uniform_field_interpolates_exactly(self, footprint):
+        p = ParticleSet.seed(footprint, np.full(footprint.num_elems, 500.0), 8, seed=5)
+        nodal = _uniform_nodal3(footprint, levels=4, vx=40.0, vy=-25.0)
+        v = p.velocity_at(p.xy, p.zeta, nodal)
+        assert np.allclose(v, [40.0, -25.0], rtol=0.0, atol=1.0e-9)
+
+    def test_rk2_advection_in_uniform_field_is_exact(self, footprint):
+        p = ParticleSet.seed(footprint, np.full(footprint.num_elems, 500.0), 8, seed=5)
+        x0 = p.xy.copy()
+        nodal = _uniform_nodal3(footprint, levels=4, vx=30.0, vy=10.0)
+        p.advect(nodal, dt_years=2.0)
+        # both RK2 stages see the same velocity: displacement is dt * v
+        assert np.allclose(p.xy - x0, [60.0, 20.0], rtol=0.0, atol=1.0e-6)
+
+    def test_off_mesh_particle_deactivates_and_freezes(self, footprint):
+        xy = np.array([[3.0e5, 2.5e5], [50.0e6, 50.0e6]])  # second is far away
+        p = ParticleSet(footprint, xy, np.array([0.5, 0.5]))
+        nodal = _uniform_nodal3(footprint, levels=4, vx=10.0, vy=0.0)
+        p.advect(nodal, dt_years=1.0)
+        assert p.active[0] and not p.active[1]
+        frozen = p.xy[1].copy()
+        p.advect(nodal, dt_years=1.0)  # inactive: stays exactly put
+        assert np.array_equal(p.xy[1], frozen)
+        assert p.num_active == 1
+
+    def test_zeta_validated(self, footprint):
+        with pytest.raises(ValueError, match="zeta"):
+            ParticleSet(footprint, np.zeros((1, 2)), np.array([1.5]))
+
+
+class TestTransientCheckpoint:
+    def _ckpt(self) -> TransientCheckpoint:
+        rng = np.random.default_rng(0)
+        return TransientCheckpoint(
+            step=7,
+            t_years=350.0,
+            tol_abs=2.4e7,
+            thickness=rng.uniform(0.0, 3000.0, 40),
+            u=rng.normal(size=200),
+            particles_xy=rng.uniform(0.0, 1.0e6, (16, 2)),
+            particles_zeta=rng.uniform(0.0, 1.0, 16),
+            particles_active=rng.uniform(size=16) > 0.2,
+            scenario_digest="abc123",
+            volumes=[1.0e16, 1.0e16],
+            times=[0.0, 50.0],
+            dts=[50.0],
+            newton_iterations=[8],
+        )
+
+    def test_save_load_roundtrip_is_bitwise(self, tmp_path):
+        ckpt = self._ckpt()
+        path = ckpt.save(tmp_path / "transient")
+        assert path.suffix == ".npz" and path.exists()
+        back = TransientCheckpoint.load(path)
+        assert back.step == 7 and back.t_years == 350.0 and back.tol_abs == 2.4e7
+        assert np.array_equal(back.thickness, ckpt.thickness)
+        assert np.array_equal(back.u, ckpt.u)
+        assert np.array_equal(back.particles_xy, ckpt.particles_xy)
+        assert np.array_equal(back.particles_active, ckpt.particles_active)
+        assert back.scenario_digest == "abc123"
+        assert back.volumes == ckpt.volumes and back.dts == ckpt.dts
+        assert back.digest == ckpt.digest
+
+    def test_load_rejects_corrupted_checkpoint(self, tmp_path):
+        ckpt = self._ckpt()
+        path = ckpt.save(tmp_path / "transient.npz")
+        with np.load(path) as z:
+            arrs = {k: z[k] for k in z.files}
+        arrs["thickness"] = arrs["thickness"] + 1.0e-9  # silent bit drift
+        np.savez(path, **arrs)
+        with pytest.raises(ValueError, match="integrity"):
+            TransientCheckpoint.load(path)
+
+
+class TestScenarios:
+    def test_library_digests_are_distinct(self):
+        digests = {sc.digest for sc in SCENARIOS.values()}
+        assert len(digests) == len(SCENARIOS)
+
+    def test_digest_ignores_name_but_not_numbers(self):
+        a = get_scenario("antarctica-closed")
+        renamed = dataclasses.replace(a, name="other", description="x")
+        assert renamed.digest == a.digest
+        assert a.with_steps(a.num_steps + 1).digest != a.digest
+
+    def test_unknown_scenario_lists_known(self):
+        with pytest.raises(KeyError, match="antarctica-closed"):
+            get_scenario("nope")
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="forcing"):
+            TransientScenario(name="x", forcing="melt-everything")
+        with pytest.raises(ValueError, match="family"):
+            TransientScenario(name="x", family="mars")
+        with pytest.raises(ValueError, match="cfl"):
+            TransientScenario(name="x", cfl_safety=1.5)
+
+
+class TestGeometryCoupling:
+    def test_node_thickness_preserves_uniform_fields(self, footprint):
+        evolver = ThicknessEvolver(footprint)
+        hn = evolver.node_thickness(np.full(footprint.num_elems, 1234.5))
+        assert np.allclose(hn, 1234.5, rtol=0.0, atol=1.0e-9)
+
+    def test_update_columns_moves_only_z(self):
+        geo = antarctica_geometry()
+        fp = masked_quad_footprint(8, 8, geo.lx, geo.ly, geo.mask)
+        mesh = extrude_footprint(fp, geo, 4)
+        xy_before = mesh.coords[:, :2].copy()
+        elems_before = mesh.elems  # same object must survive
+        h2 = mesh.thickness2d * 0.9
+        s2 = mesh.surface2d - 0.1 * mesh.thickness2d
+        mesh.update_columns(h2, s2)
+        assert np.array_equal(mesh.coords[:, :2], xy_before)
+        assert mesh.elems is elems_before
+        assert np.array_equal(mesh.thickness2d, np.maximum(h2, 10.0))
+        # column endpoints honor sigma: base at s - h, top at s
+        base = mesh.coords[mesh.basal_nodes(), 2]
+        top = mesh.coords[mesh.surface_nodes(), 2]
+        assert np.allclose(top - base, mesh.thickness2d)
+        assert np.allclose(top, mesh.surface2d)
+
+    def test_update_columns_rejects_degenerate_and_bad_shapes(self):
+        geo = antarctica_geometry()
+        fp = masked_quad_footprint(8, 8, geo.lx, geo.ly, geo.mask)
+        mesh = extrude_footprint(fp, geo, 3)
+        with pytest.raises(ValueError, match="per footprint node"):
+            mesh.update_columns(mesh.thickness2d[:-1], mesh.surface2d[:-1])
+        # a zero-thickness column is floored, not degenerate
+        h2 = np.zeros_like(mesh.thickness2d)
+        mesh.update_columns(h2, mesh.surface2d)
+        assert np.all(mesh.thickness2d == 10.0)

@@ -88,10 +88,47 @@ def table3_golden() -> dict:
     }
 
 
+#: steps per transient golden: long enough to exercise warm starts,
+#: forcing and particle drift, short enough for the tier-1 diff test
+TRANSIENT_GOLDEN_STEPS = 6
+
+#: every library scenario gets a golden trajectory
+TRANSIENT_SCENARIOS = (
+    "antarctica-closed",
+    "antarctica-retreat",
+    "greenland-ramp",
+    "shelf-collapse",
+)
+
+
+def transient_golden(name: str) -> dict:
+    """Truncated transient trajectory: final state + volume series."""
+    from repro.transient import TransientEngine, get_scenario
+
+    scenario = get_scenario(name).with_steps(TRANSIENT_GOLDEN_STEPS)
+    result = TransientEngine(scenario).run()
+    return {
+        "thickness": result.thickness,
+        "volumes": np.asarray(result.volumes, dtype=np.float64),
+        "times": np.asarray(result.times, dtype=np.float64),
+        "dts": np.asarray(result.dts, dtype=np.float64),
+        "newton_iterations": np.asarray(result.newton_iterations, dtype=np.int64),
+        "particles_xy": result.particles.xy,
+        "particles_zeta": result.particles.zeta,
+        "particles_active": result.particles.active,
+        "scenario_digest": np.asarray(scenario.digest, dtype="U32"),
+        "num_steps": np.int64(len(result.dts)),
+    }
+
+
 GOLDENS = {
     "antarctica": antarctica_golden,
     "greenland": greenland_golden,
     "table3": table3_golden,
+    **{
+        f"transient_{name}": (lambda n=name: transient_golden(n))
+        for name in TRANSIENT_SCENARIOS
+    },
 }
 
 
@@ -121,10 +158,20 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--only", choices=sorted(GOLDENS), default=None, help="regenerate a single golden"
     )
+    parser.add_argument(
+        "--transient",
+        action="store_true",
+        help="regenerate only the transient scenario trajectories",
+    )
     args = parser.parse_args(argv)
 
     GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
-    names = [args.only] if args.only else sorted(GOLDENS)
+    if args.only:
+        names = [args.only]
+    elif args.transient:
+        names = sorted(n for n in GOLDENS if n.startswith("transient_"))
+    else:
+        names = sorted(GOLDENS)
     for name in names:
         print(f"regenerating {name} ...")
         fresh = GOLDENS[name]()
